@@ -1,0 +1,53 @@
+"""§7.1 "Unclear phylogenies": batch classification of a sample corpus."""
+
+from __future__ import annotations
+
+import os
+
+from conftest import once
+
+from repro.experiments.classification import (
+    run_classification,
+    run_split_personality,
+)
+
+CORPUS_SIZE = 30 if os.environ.get("GQ_BENCH_QUICK") else 120
+
+
+def _run():
+    classification = run_classification(corpus_size=CORPUS_SIZE,
+                                        duration=150.0)
+    split = run_split_personality(executions=10, duration=150.0)
+    return classification, split
+
+
+def render(classification, split) -> str:
+    lines = [
+        "Fingerprint-based batch classification (§7.1; the paper "
+        "classified ~10,000 samples this way)",
+        "",
+        f"corpus size          : {classification.total}",
+        f"correctly classified : {classification.correct} "
+        f"({classification.accuracy:.1%})",
+        f"unknown              : {classification.unknown}",
+        f"AV-label disagreement: {classification.label_disagreements} "
+        "(split personalities / mislabels surfaced)",
+        "",
+        "Confusion (true -> predicted):",
+    ]
+    for (truth, predicted), count in sorted(classification.confusion.items()):
+        lines.append(f"    {truth:<18} -> {str(predicted):<18} {count}")
+    lines.append("")
+    lines.append(
+        "Split-personality binary across reverted executions "
+        f"(AV label 'megad'): {split}"
+    )
+    return "\n".join(lines)
+
+
+def test_classification(benchmark, emit):
+    classification, split = once(benchmark, _run)
+    emit("classification", render(classification, split))
+    assert classification.accuracy > 0.9
+    assert classification.label_disagreements > 0
+    assert "grum" in split and "megad" in split

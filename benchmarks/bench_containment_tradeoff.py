@@ -1,0 +1,54 @@
+"""§3/§8: behaviour elicited vs harm inflicted, per regime."""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.experiments.containment_tradeoff import run_all_regimes
+
+
+def render(regimes) -> str:
+    lines = [
+        "Containment trade-off: behaviour elicited vs harm inflicted",
+        "(mixed population: Grum, Rustock, MegaD, clickbot; same world, "
+        "same duration)",
+        "",
+        f"{'REGIME':<15} {'FAMILIES':>8} {'BEHAVIOUR':>9} {'HARVEST':>8} "
+        f"{'SPAM OUT':>8} {'FRAUD CLICKS':>12} {'BLACKLISTED':>11}",
+        "-" * 80,
+    ]
+    for regime, result in regimes.items():
+        lines.append(
+            f"{regime:<15} {result.families_active:>8} "
+            f"{result.behaviour_score:>9} {result.spam_harvested:>8} "
+            f"{result.spam_delivered_outside:>8} "
+            f"{result.clicks_on_real_publishers:>12} "
+            f"{result.inmates_blacklisted:>11}"
+        )
+    lines.append("-" * 80)
+    lines.append(
+        "Shape: unconstrained maximizes both axes; isolation zeroes "
+        "both; static\nrules (Botlab) lose most behaviour; GQ matches "
+        "unconstrained behaviour at\nzero harm — the paper's central "
+        "claim."
+    )
+    return "\n".join(lines)
+
+
+def test_containment_tradeoff(benchmark, emit):
+    regimes = once(benchmark, run_all_regimes, duration=900.0)
+    emit("containment_tradeoff", render(regimes))
+
+    unconstrained = regimes["unconstrained"]
+    isolation = regimes["isolation"]
+    botlab = regimes["botlab-static"]
+    gq = regimes["gq"]
+
+    assert unconstrained.harm_score > 100
+    assert unconstrained.inmates_blacklisted > 0
+    assert isolation.harm_score == 0 and isolation.families_active == 0
+    assert botlab.families_active < gq.families_active
+    assert gq.harm_score == 0
+    assert gq.families_active == 4
+    assert gq.behaviour_score > unconstrained.behaviour_score * 0.8
+    assert gq.spam_harvested > 100

@@ -1,0 +1,44 @@
+"""§7.1 "Exploratory containment": the error-code decoding study."""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.experiments.error_codes import (
+    CONDITION_TO_STAGE,
+    FIRMWARE_ERROR_TABLE,
+    recovered_table,
+    run_error_code_study,
+)
+
+
+def render(study) -> str:
+    lines = [
+        "Exploratory containment: decoding delivery-report error codes "
+        "(§7.1)",
+        "",
+        f"{'INJECTED CONDITION':<20} {'REPORTS':>7} {'OBSERVED CODE':>13} "
+        f"{'FIRMWARE SAYS':>13}",
+        "-" * 60,
+    ]
+    for condition, codes in study.observed.items():
+        stage = CONDITION_TO_STAGE[condition]
+        lines.append(
+            f"{condition:<20} {len(codes):>7} "
+            f"{study.recovered[condition]!s:>13} "
+            f"{FIRMWARE_ERROR_TABLE[stage]:>13}"
+        )
+    lines.append("-" * 60)
+    match = recovered_table(study) == FIRMWARE_ERROR_TABLE
+    lines.append(
+        f"Recovered table matches the firmware table: {match} — live "
+        "experimentation\nalone decoded every code, with zero messages "
+        "escaping during the study."
+    )
+    return "\n".join(lines)
+
+
+def test_error_code_study(benchmark, emit):
+    study = once(benchmark, run_error_code_study, duration=250.0)
+    emit("error_codes", render(study))
+    assert recovered_table(study) == FIRMWARE_ERROR_TABLE

@@ -1,0 +1,60 @@
+"""Figure 1: the overall architecture, constructed and verified."""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.core.policy import DefaultDeny
+from repro.farm import Farm, FarmConfig
+from repro.inmates.images import idle_image
+
+
+def _build():
+    farm = Farm(FarmConfig(seed=1))
+    subs = [farm.create_subfarm(f"subfarm-{i}") for i in range(3)]
+    for sub in subs:
+        sub.add_catchall_sink()
+        sub.set_default_policy(DefaultDeny())
+        for _ in range(4):
+            sub.create_inmate(image_factory=idle_image())
+    farm.run(until=90)
+    return farm, subs
+
+
+def render(farm, subs) -> str:
+    lines = [
+        "Figure 1 — overall architecture",
+        "",
+        "Gateway between outside network and internal machinery:",
+        f"    upstream networks : "
+        f"{[str(n) for n in farm.config.global_networks]}",
+        f"    control network   : {farm.config.control_network}",
+        f"    inmate trunk      : 802.1Q, "
+        f"{sum(len(s.router.vlan_ids) for s in subs)} inmate VLANs",
+        f"    management network: controller at {farm.controller_ip}",
+        "",
+        "Subfarms (inmate network):",
+    ]
+    for sub in subs:
+        bindings = sub.nat.bindings()
+        lines.append(
+            f"    {sub.name}: vlans={sorted(sub.router.vlan_ids)} "
+            f"cs={sub.cs_ip} dns={sub.dns_ip} "
+            f"leases={len(bindings)}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig1_architecture(benchmark, emit):
+    farm, subs = once(benchmark, _build)
+    emit("fig1_architecture", render(farm, subs))
+
+    # Every inmate came up behind NAT with farm services reachable.
+    for sub in subs:
+        for vlan, inmate in sub.inmates.items():
+            assert inmate.host is not None and inmate.host.ip is not None
+            assert inmate.host.ip.is_rfc1918()
+            assert sub.nat.global_for(vlan) is not None
+    # VLAN ranges are disjoint across the whole farm.
+    all_vlans = [v for sub in subs for v in sub.router.vlan_ids]
+    assert len(all_vlans) == len(set(all_vlans))

@@ -1,0 +1,60 @@
+"""Figure 2: the six flow-manipulation modes."""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.experiments.flow_modes import observe_all_modes
+
+
+def render(observations) -> str:
+    lines = [
+        "Figure 2 — flow manipulation modes (flows initiated by an inmate)",
+        "",
+        f"{'MODE':<12} {'REAL TARGET':>11} {'ALTERNATE':>9} {'SINK':>5} "
+        f"{'CLIENT OUTCOME':<28}",
+        "-" * 70,
+    ]
+    for mode, obs in observations.items():
+        if obs.client_reset:
+            outcome = "connection reset (killed)"
+        elif obs.client_saw_response is not None:
+            outcome = f"response {obs.client_saw_response!r}"
+        else:
+            outcome = "silence (idles)"
+        lines.append(
+            f"{mode:<12} {'yes' if obs.reached_real_target else 'no':>11} "
+            f"{'yes' if obs.reached_alternate else 'no':>9} "
+            f"{'yes' if obs.reached_sink else 'no':>5} {outcome:<28}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig2_modes(benchmark, emit):
+    observations = once(benchmark, observe_all_modes)
+    emit("fig2_modes", render(observations))
+
+    assert observations["forward"].reached_real_target
+    assert observations["forward"].client_saw_response == b"REAL"
+
+    assert observations["rate-limit"].reached_real_target
+    assert observations["rate-limit"].client_saw_response == b"REAL"
+    # A 4-byte response fits the shaper's burst; shaping-delay effects
+    # are covered by tests/test_containment_end_to_end.py::TestLimit.
+    assert (observations["rate-limit"].completion_time
+            >= observations["forward"].completion_time)
+
+    assert not observations["drop"].reached_real_target
+    assert observations["drop"].client_reset
+
+    assert observations["redirect"].reached_alternate
+    assert not observations["redirect"].reached_real_target
+    assert observations["redirect"].client_saw_response == b"ALTERNATE"
+
+    assert observations["reflect"].reached_sink
+    assert not observations["reflect"].reached_real_target
+    assert observations["reflect"].client_saw_response is None
+    assert not observations["reflect"].client_reset
+
+    assert observations["rewrite"].reached_real_target
+    assert observations["rewrite"].client_saw_response == b"FAKE"

@@ -1,0 +1,64 @@
+"""Figure 3: independent subfarms over disjoint VLAN ranges."""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.core.policy import AllowAll, DefaultDeny, ReflectAll
+from repro.farm import Farm, FarmConfig
+from tests.test_containment_end_to_end import (
+    EXTERNAL_WEB_IP,
+    http_fetch_image,
+    http_server,
+)
+
+
+def _run():
+    farm = Farm(FarmConfig(seed=19))
+    web = farm.add_external_host("webserver", EXTERNAL_WEB_IP)
+    served = http_server(web)
+    subs, results = {}, {}
+    for name, policy in (("deployment", AllowAll()),
+                         ("development", ReflectAll()),
+                         ("locked", DefaultDeny())):
+        sub = farm.create_subfarm(name)
+        sub.add_catchall_sink()
+        image, res = http_fetch_image()
+        sub.create_inmate(image_factory=image, policy=policy)
+        subs[name] = sub
+        results[name] = res
+    farm.run(until=120)
+    return farm, subs, results, served
+
+
+def render(subs, served) -> str:
+    lines = [
+        "Figure 3 — parallel subfarms, one gateway, disjoint VLAN sets",
+        "",
+        f"{'SUBFARM':<12} {'VLANS':<10} {'CS':<12} {'VERDICTS':<24} "
+        f"{'SINK HITS':>9}",
+        "-" * 72,
+    ]
+    for name, sub in subs.items():
+        verdicts = dict(sub.containment_server.verdict_counts)
+        sink = sub.sinks["sink"].connections_accepted
+        lines.append(
+            f"{name:<12} {str(sorted(sub.router.vlan_ids)):<10} "
+            f"{str(sub.cs_ip):<12} {str(verdicts):<24} {sink:>9}"
+        )
+    lines.append("-" * 72)
+    lines.append(f"requests that reached the real web server: {len(served)} "
+                 f"(deployment only)")
+    return "\n".join(lines)
+
+
+def test_fig3_subfarms(benchmark, emit):
+    farm, subs, results, served = once(benchmark, _run)
+    emit("fig3_subfarms", render(subs, served))
+    assert len(served) == 1
+    assert subs["development"].sinks["sink"].connections_accepted == 1
+    assert subs["locked"].containment_server.verdict_counts == {"DROP": 1}
+    vlan_sets = [sub.router.vlan_ids for sub in subs.values()]
+    for i, a in enumerate(vlan_sets):
+        for b in vlan_sets[i + 1:]:
+            assert not (a & b)

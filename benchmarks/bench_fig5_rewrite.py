@@ -1,0 +1,28 @@
+"""Figure 5: the REWRITE packet ladder through gateway and
+containment server."""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.experiments.figure5 import run_figure5
+
+
+def test_fig5_rewrite_ladder(benchmark, emit):
+    result = once(benchmark, run_figure5)
+    header = (
+        "Figure 5 — TCP packet flow through gateway and containment "
+        "server (REWRITE)\n"
+        f"Request seen by the real target : GET {result.request_on_wire}  "
+        "(inmate sent /bot.exe)\n"
+        f"Response seen by the inmate     : {result.response_to_inmate}  "
+        "(target sent 200 OK)\n"
+        f"Shims carried in sequence space : {result.shim_lengths} bytes\n"
+    )
+    emit("fig5_rewrite_ladder", header + "\n" + result.rendered())
+
+    assert result.request_on_wire == "/cleanup.exe"
+    assert result.response_to_inmate.startswith("404")
+    assert result.seq_bump_observed
+    assert result.shim_lengths[0] == 24       # request shim
+    assert result.shim_lengths[1] >= 56       # response shim

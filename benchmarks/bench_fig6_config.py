@@ -1,0 +1,54 @@
+"""Figure 6: the containment server configuration file."""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.core.config import ContainmentConfig, SampleLibrary, apply_config
+from repro.experiments.figure7 import BOTFARM_CONFIG
+from repro.farm import Farm, FarmConfig
+from repro.malware.corpus import Sample
+
+
+def _parse_and_apply():
+    farm = Farm(FarmConfig(seed=1))
+    sub = farm.create_subfarm("Botfarm")
+    library = SampleLibrary()
+    library.add("rustock.100921.a.exe", Sample("rustock"))
+    library.add("grum.100818.a.exe", Sample("grum"))
+    config = ContainmentConfig.parse(BOTFARM_CONFIG)
+    policies = apply_config(config, sub, library)
+    return config, sub, policies
+
+
+def render(config, sub) -> str:
+    lines = [
+        "Figure 6 — containment configuration, parsed and applied",
+        "",
+        "Input:",
+    ]
+    lines.extend("    " + line for line in BOTFARM_CONFIG.strip().splitlines())
+    lines.append("")
+    lines.append("Resulting assignment:")
+    for vlan in (16, 17, 18, 19, 20):
+        policy = sub.policy_map.resolve(vlan)
+        triggers = config.triggers_for_vlan(vlan)
+        lines.append(
+            f"    VLAN {vlan}: decider={policy.policy_name:<12} "
+            f"triggers={len(triggers)}"
+        )
+    lines.append(f"    services: {sorted(sub.services)}")
+    return "\n".join(lines)
+
+
+def test_fig6_config(benchmark, emit):
+    config, sub, policies = once(benchmark, _parse_and_apply)
+    emit("fig6_config", render(config, sub))
+    assert sub.policy_map.resolve(16).policy_name == "Rustock"
+    assert sub.policy_map.resolve(19).policy_name == "Grum"
+    assert sub.policy_map.resolve(20).policy_name == "DefaultDeny"
+    assert len(config.triggers_for_vlan(17)) == 1
+    # The autoinfect service section configured the policies.
+    for policy in policies.values():
+        assert str(policy.infect_address) == "10.9.8.7"
+        assert policy.infect_port == 6543

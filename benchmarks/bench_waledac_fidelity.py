@@ -1,0 +1,53 @@
+"""§7.1 "Mysterious blacklisting" / "Satisfying fidelity" (Waledac)."""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.experiments.waledac_fidelity import run_all
+
+
+def render(results) -> str:
+    lines = [
+        "Waledac containment configurations (§7.1)",
+        "",
+        f"{'MODE':<16} {'BOT ALIVE':>9} {'HARVESTED':>9} "
+        f"{'SENT OUTSIDE':>12} {'BLACKLISTED':>11} {'BANNER GRABS':>12}",
+        "-" * 76,
+    ]
+    for mode, result in results.items():
+        lines.append(
+            f"{mode:<16} {'yes' if result.bot_alive else 'no':>9} "
+            f"{result.sink_data_transfers:>9} "
+            f"{result.spam_delivered_outside:>12} "
+            f"{'LISTED' if result.inmate_blacklisted else 'clean':>11} "
+            f"{result.banner_fetches:>12}"
+        )
+    lines.append("-" * 76)
+    lines.append(
+        "Paper narrative: the permitted test message got the inmates CBL-"
+        "listed\n(recognizable wergvan HELO); the plain sink silenced the "
+        "bots; banner\ngrabbing restored fidelity with zero outside "
+        "interaction."
+    )
+    return "\n".join(lines)
+
+
+def test_waledac_fidelity(benchmark, emit):
+    results = once(benchmark, run_all, duration=900.0)
+    emit("waledac_fidelity", render(results))
+
+    test_message = results["test-message"]
+    assert test_message.inmate_blacklisted
+    assert test_message.spam_delivered_outside >= 1
+
+    plain = results["plain-sink"]
+    assert not plain.bot_alive
+    assert plain.sink_data_transfers == 0
+    assert not plain.inmate_blacklisted
+
+    grabbing = results["banner-grabbing"]
+    assert grabbing.bot_alive
+    assert grabbing.sink_data_transfers > 50
+    assert grabbing.spam_delivered_outside == 0
+    assert not grabbing.inmate_blacklisted

@@ -1,0 +1,36 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+rendered artifact is written to ``benchmarks/output/`` and echoed to
+stdout (run with ``-s`` to see it live); the pytest-benchmark fixture
+times the underlying experiment.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def emit():
+    """``emit(name, text)`` — persist and print a rendered artifact."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> pathlib.Path:
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(text)
+        print(f"\n===== {name} =====")
+        print(text)
+        return path
+
+    return _emit
+
+
+def once(benchmark, function, *args, **kwargs):
+    """Run a heavyweight scenario exactly once under the timer."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

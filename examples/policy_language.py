@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""The containment policy language and its verification tool-chain.
+
+Both are things the paper asked for (§8): a domain-specific language
+("like in Bro") instead of raw Python policies, and "a traffic
+generation tool that can automatically produce test cases for a given
+concrete containment policy".
+
+This example writes a Grum policy as a six-line program, enumerates
+its decision surface with generated probes, checks safety invariants,
+and finally verifies live enforcement against a real farm —
+cross-checking the gateway's observable behaviour per flow against
+the verdicts the containment server issued.
+
+Run:  python examples/policy_language.py
+"""
+
+from repro.analysis.policy_testing import (
+    check_invariants,
+    enumerate_surface,
+    verify_enforcement,
+)
+from repro.core.dsl import DslPolicy
+
+PROGRAM = """
+# Grum containment, as a policy program.
+outbound port 25/tcp                         -> reflect smtp_sink
+outbound port 80/tcp content ~ "GET /grum/"  -> forward
+outbound port 6660-6669/tcp                  -> drop
+default                                      -> reflect sink
+"""
+
+
+def main() -> None:
+    print(__doc__)
+    print("Policy program:")
+    for line in PROGRAM.strip().splitlines():
+        print(f"    {line}")
+
+    policy = DslPolicy(PROGRAM)
+
+    print("\n1. Decision surface (generated probes):")
+    surface = enumerate_surface(policy)
+    matrix = surface.verdict_matrix()
+    interesting = [
+        ("outbound", 25, "smtp-dialogue"),
+        ("outbound", 80, "grum-cnc"),
+        ("outbound", 80, "http-get"),
+        ("outbound", 80, "sql-injection"),
+        ("outbound", 6667, "irc-session"),
+        ("outbound", 31337, "raw-binary"),
+    ]
+    for key in interesting:
+        direction, port, tag = key
+        print(f"    {direction} :{port:<5} {tag:<15} -> {matrix[key]}")
+    print(f"    ({len(surface.outcomes)} probes total; "
+          f"{len(surface.forwarded())} would leave the farm)")
+
+    print("\n2. Safety invariants:")
+    violations = check_invariants(surface)
+    if violations:
+        for name, outcome, message in violations:
+            print(f"    VIOLATION [{name}] {outcome.probe}: {message}")
+    else:
+        print("    no violations: SMTP never escapes, nothing "
+              "unrecognized is forwarded")
+
+    print("\n3. Live enforcement verification (real farm):")
+    summary, mismatches = verify_enforcement(lambda: DslPolicy(PROGRAM))
+    print(f"    verdicts issued      : {summary['verdicts']}")
+    print(f"    reached real network : ports {summary['witness_ports']}")
+    print(f"    landed in sink       : ports {summary['sink_ports']}")
+    print(f"    smtp sink sessions   : {summary['smtp_sink_sessions']}")
+    if mismatches:
+        for mismatch in mismatches:
+            print(f"    MISMATCH: {mismatch}")
+    else:
+        print("    gateway enforcement matches every verdict, per flow")
+
+    print("\nRule coverage after the live run:")
+    for line, hits in policy.coverage():
+        print(f"    {hits:>4}  {line}")
+
+
+if __name__ == "__main__":
+    main()

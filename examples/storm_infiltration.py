@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Storm infiltration and the 'unexpected visitors' (§7.1).
+
+Runs the 2008 scenario both ways: with the paper's tight policy
+(reachability + HTTP C&C forwarded, everything else reflected) and
+with the loose counterfactual that trusted Storm proxy bots to be
+harmless.  The upstream botmaster pushes SOCKS-framed FTP
+iframe-injection jobs through the bots either way; only the posture
+decides whether a small business's website gets defaced.
+
+Run:  python examples/storm_infiltration.py
+"""
+
+from repro.experiments.storm_infiltration import run_both
+
+
+def main() -> None:
+    print(__doc__)
+    results = run_both(duration=900)
+
+    for posture, result in results.items():
+        print(f"Posture: {posture}")
+        print(f"  overlay connections accepted : "
+              f"{result.overlay_connections}")
+        print(f"  SOCKS jobs executed by bots  : {result.socks_jobs}")
+        print(f"  FTP attempts caught at sink  : "
+              f"{result.ftp_attempts_at_sink}")
+        print(f"  injection jobs that succeeded: {result.jobs_succeeded}"
+              f" / {result.jobs_attempted}")
+        print(f"  victim site defaced          : "
+              f"{'YES' if result.site_defaced else 'no'}")
+        print()
+
+    tight = results["tight"]
+    print("With tight containment, the analyst learns the same amount —")
+    print(f"the sink recorded {tight.ftp_attempts_at_sink} FTP jobs, "
+          "revealing the iframe-injection")
+    print("capability nobody believed Storm proxies had — while the "
+          "victim site survived.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro — a faithful reproduction of GQ (IMC 2011).
+
+GQ is a malware execution farm built around *explicit per-flow
+containment*: a gateway redirects every flow to a containment server,
+which issues one of six verdicts (FORWARD, LIMIT, DROP, REDIRECT,
+REFLECT, REWRITE) via an in-band shim protocol; the gateway then
+enforces the verdict at packet level.
+
+This package implements the complete system — gateway, containment
+servers, inmate life-cycle control, infrastructure services, reporting
+— on top of a deterministic discrete-event network simulator, together
+with behaviour models of the malware families the paper studied.
+
+Quickstart::
+
+    from repro import Farm, FarmConfig
+
+    farm = Farm(FarmConfig(seed=1))
+    subfarm = farm.create_subfarm("spam-study")
+
+See ``examples/quickstart.py`` for a complete runnable tour.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["Farm", "FarmConfig", "__version__"]
+
+
+def __getattr__(name: str):
+    """Lazy re-exports so importing leaf modules stays cheap."""
+    if name in ("Farm", "FarmConfig"):
+        from repro import farm
+
+        return getattr(farm, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

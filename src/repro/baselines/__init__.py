@@ -1,0 +1,24 @@
+"""Baseline containment regimes from the related work (§2).
+
+These exist so the benchmarks can show *why* GQ's per-flow,
+iteratively developed containment matters:
+
+* :class:`UnconstrainedPolicy` — no containment at all (the
+  researcher-on-their-desktop anti-pattern the Anubis paper warns of).
+* :class:`FullIsolationPolicy` — complete containment, no external
+  connectivity (SLINGbot / Botnet Mesocosms style).
+* :class:`BotlabStaticPolicy` — Botlab's static rules: drop privileged
+  and known-vulnerable ports, rate-limit the rest.
+"""
+
+from repro.baselines.policies import (
+    BotlabStaticPolicy,
+    FullIsolationPolicy,
+    UnconstrainedPolicy,
+)
+
+__all__ = [
+    "UnconstrainedPolicy",
+    "FullIsolationPolicy",
+    "BotlabStaticPolicy",
+]

@@ -1,0 +1,70 @@
+"""Containment-server clustering (§7.2).
+
+"With a large number of inmates in a single subfarm, a single
+containment server becomes a bottleneck, as it has to interpose on
+all flows in the subfarm.  We can address this situation in a
+straightforward manner by moving to a cluster of containment servers,
+managed by the subfarm's packet router ...  Several containment
+server selection policies come to mind, such as random selection
+under the constraint that the same containment server always handles
+the same inmate."
+
+The cluster shares one policy map and service registry, so verdicts
+are identical regardless of which member answers; only capacity
+changes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.server import ContainmentServer
+
+
+class ContainmentServerCluster:
+    """A set of interchangeable containment servers for one subfarm."""
+
+    def __init__(self, servers: List[ContainmentServer]) -> None:
+        if not servers:
+            raise ValueError("a cluster needs at least one server")
+        self.servers = list(servers)
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    # ------------------------------------------------------------------
+    # Aggregated metrics
+    # ------------------------------------------------------------------
+    def verdict_counts(self) -> dict:
+        totals: dict = {}
+        for server in self.servers:
+            for verdict, count in server.verdict_counts.items():
+                totals[verdict] = totals.get(verdict, 0) + count
+        return totals
+
+    def total_verdicts(self) -> int:
+        return sum(sum(s.verdict_counts.values()) for s in self.servers)
+
+    def queue_delays(self) -> List[float]:
+        delays: List[float] = []
+        for server in self.servers:
+            delays.extend(server.queue_delays)
+        return delays
+
+    def mean_queue_delay(self) -> float:
+        delays = self.queue_delays()
+        return sum(delays) / len(delays) if delays else 0.0
+
+    def max_queue_delay(self) -> float:
+        delays = self.queue_delays()
+        return max(delays) if delays else 0.0
+
+    def load_balance(self) -> List[int]:
+        """Verdicts handled per member — evenness is the health check."""
+        return [sum(s.verdict_counts.values()) for s in self.servers]
+
+    def __repr__(self) -> str:
+        return (
+            f"<ContainmentServerCluster n={len(self.servers)} "
+            f"verdicts={self.total_verdicts()}>"
+        )

@@ -1,0 +1,264 @@
+"""The containment server configuration file (Figure 6, §6.2).
+
+The file serves four purposes: (i) the initial assignment of a policy
+to a given inmate's traffic, (ii) the malware binaries to infect each
+inmate with over its life-cycles, (iii) activity triggers, and (iv)
+addresses of infrastructure services in the subfarm.  Verbatim
+example from the paper::
+
+    [VLAN 16-17]
+    Decider = Rustock
+    Infection = rustock.100921.*.exe
+
+    [VLAN 18-19]
+    Decider = Grum
+    Infection = grum.100818.*.exe
+
+    [VLAN 16-19]
+    Trigger = *:25/tcp / 30min < 1 -> revert
+
+    [Autoinfect]
+    Address = 10.9.8.7
+    Port = 6543
+
+    [BannerSmtpSink]
+    Address = 10.3.1.4
+    Port = 2526
+
+A hand-rolled parser (rather than :mod:`configparser`) because VLAN
+sections repeat keys (multiple ``Trigger`` lines) and section order
+matters for policy resolution.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.policy import ContainmentPolicy, policy_class
+from repro.core.triggers import TriggerSpec
+from repro.malware.corpus import Sample, SampleBatch
+from repro.net.addresses import IPv4Address
+
+_SECTION_RE = re.compile(r"^\[(?P<name>[^\]]+)\]\s*$")
+_VLAN_SECTION_RE = re.compile(r"^VLAN\s+(?P<first>\d+)(?:\s*-\s*(?P<last>\d+))?$",
+                              re.IGNORECASE)
+
+
+class ConfigError(ValueError):
+    """Malformed containment configuration."""
+
+
+class VlanSection:
+    """One ``[VLAN a-b]`` block."""
+
+    def __init__(self, first: int, last: int) -> None:
+        if first > last:
+            raise ConfigError(f"empty VLAN range {first}-{last}")
+        self.first = first
+        self.last = last
+        self.decider: Optional[str] = None
+        self.infection: Optional[str] = None
+        self.triggers: List[str] = []
+        self.extra: Dict[str, str] = {}
+
+    @property
+    def vlans(self) -> range:
+        return range(self.first, self.last + 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"<VlanSection {self.first}-{self.last} "
+            f"decider={self.decider!r}>"
+        )
+
+
+class ServiceSection:
+    """A named infrastructure-service block (Autoinfect, sinks...)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.address: Optional[IPv4Address] = None
+        self.port: Optional[int] = None
+        self.extra: Dict[str, str] = {}
+
+    def __repr__(self) -> str:
+        return f"<ServiceSection {self.name} {self.address}:{self.port}>"
+
+
+class ContainmentConfig:
+    """Parsed configuration."""
+
+    def __init__(self) -> None:
+        self.vlan_sections: List[VlanSection] = []
+        self.service_sections: Dict[str, ServiceSection] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "ContainmentConfig":
+        config = cls()
+        current: Optional[object] = None
+        for line_number, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith(("#", ";")):
+                continue
+            section_match = _SECTION_RE.match(line)
+            if section_match:
+                current = config._open_section(section_match.group("name"))
+                continue
+            if current is None:
+                raise ConfigError(
+                    f"line {line_number}: key outside any section: {line!r}"
+                )
+            key, _, value = line.partition("=")
+            if not _:
+                raise ConfigError(f"line {line_number}: expected key = value")
+            config._set(current, key.strip(), value.strip(), line_number)
+        return config
+
+    def _open_section(self, name: str):
+        vlan_match = _VLAN_SECTION_RE.match(name.strip())
+        if vlan_match:
+            first = int(vlan_match.group("first"))
+            last = int(vlan_match.group("last") or first)
+            section = VlanSection(first, last)
+            self.vlan_sections.append(section)
+            return section
+        section = ServiceSection(name.strip())
+        self.service_sections[section.name] = section
+        return section
+
+    def _set(self, section, key: str, value: str, line_number: int) -> None:
+        lowered = key.lower()
+        if isinstance(section, VlanSection):
+            if lowered == "decider":
+                section.decider = value
+            elif lowered == "infection":
+                section.infection = value
+            elif lowered == "trigger":
+                # Validate eagerly so typos fail at parse time.
+                TriggerSpec.parse(value)
+                section.triggers.append(value)
+            else:
+                section.extra[key] = value
+        else:
+            if lowered == "address":
+                try:
+                    section.address = IPv4Address(value)
+                except ValueError as error:
+                    raise ConfigError(f"line {line_number}: {error}") from None
+            elif lowered == "port":
+                section.port = int(value)
+            else:
+                section.extra[key] = value
+
+    # ------------------------------------------------------------------
+    def section_for_vlan(self, vlan: int) -> Optional[VlanSection]:
+        """First matching VLAN section (order matters; deciders come
+        from the most specific declaration in practice)."""
+        for section in self.vlan_sections:
+            if section.first <= vlan <= section.last:
+                return section
+        return None
+
+    def triggers_for_vlan(self, vlan: int) -> List[str]:
+        out: List[str] = []
+        for section in self.vlan_sections:
+            if section.first <= vlan <= section.last:
+                out.extend(section.triggers)
+        return out
+
+    def service(self, name: str) -> Optional[ServiceSection]:
+        return self.service_sections.get(name)
+
+
+class SampleLibrary:
+    """Maps binary filenames to behaviour samples.
+
+    Figure 6 names infection material by filename pattern
+    (``rustock.100921.*.exe``); the library resolves such patterns to
+    batches.
+    """
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, Sample] = {}
+
+    def add(self, filename: str, sample: Sample) -> None:
+        self._by_name[filename] = sample
+
+    def match(self, pattern: str) -> SampleBatch:
+        names = sorted(fnmatch.filter(self._by_name, pattern))
+        if not names:
+            raise ConfigError(f"no samples match pattern {pattern!r}")
+        return SampleBatch(pattern, [self._by_name[n] for n in names])
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+
+def apply_config(
+    config: ContainmentConfig,
+    subfarm,
+    library: Optional[SampleLibrary] = None,
+) -> Dict[Tuple[int, int], ContainmentPolicy]:
+    """Instantiate and wire a parsed configuration into a subfarm.
+
+    Returns the policies created, keyed by VLAN range.  Policies are
+    resolved from the registry by their ``Decider`` name; infection
+    patterns are resolved through the sample library; triggers are
+    installed on the subfarm's trigger engine; service sections are
+    registered for policies to look up.
+    """
+    policies: Dict[Tuple[int, int], ContainmentPolicy] = {}
+
+    # Service sections first so policies can reference them.
+    policy_config: Dict[str, str] = {}
+    for name, section in config.service_sections.items():
+        if section.address is None:
+            continue
+        port = section.port if section.port is not None else 0
+        if name.lower() == "autoinfect":
+            policy_config["autoinfect_address"] = str(section.address)
+            policy_config["autoinfect_port"] = str(port)
+        subfarm.register_service(_service_key(name), section.address, port)
+
+    for section in config.vlan_sections:
+        if section.decider is None:
+            continue
+        cls = policy_class(section.decider)
+        policy = cls(services=subfarm.services, config=policy_config)
+        if section.infection is not None:
+            if library is None:
+                raise ConfigError(
+                    f"section VLAN {section.first}-{section.last} names an "
+                    f"infection but no sample library was provided"
+                )
+            batch = library.match(section.infection)
+            if not hasattr(policy, "set_batch"):
+                raise ConfigError(
+                    f"policy {section.decider!r} does not support "
+                    f"auto-infection batches"
+                )
+            policy.set_batch(section.first, section.last, batch)
+        subfarm.policy_map.assign(section.first, section.last, policy)
+        policies[(section.first, section.last)] = policy
+
+    for section in config.vlan_sections:
+        for trigger_text in section.triggers:
+            subfarm.trigger_engine.add_text(trigger_text,
+                                            set(section.vlans))
+    return policies
+
+
+def _service_key(section_name: str) -> str:
+    """Map Figure 6 section names onto policy service keys:
+    ``BannerSmtpSink`` -> ``smtp_sink``, ``Sink`` -> ``sink``."""
+    lowered = section_name.lower()
+    if "smtp" in lowered:
+        return "smtp_sink"
+    if lowered == "autoinfect":
+        return "autoinfect"
+    if "sink" in lowered:
+        return "sink"
+    return lowered

@@ -1,0 +1,292 @@
+"""A domain-specific containment policy language (§8 future work).
+
+"The primary reason for our current use of Python is experience and
+convenience, but the general-purpose nature of the language
+complicates the creation of a tool-chain for processing policies ...
+A more domain-specific, abstract language (like in Bro) could
+simplify this."
+
+This module implements that language.  A policy is a list of rules,
+evaluated top to bottom; the first match wins; the mandatory
+``default`` clause catches the rest.  Because rules are data, the
+tool-chain the paper wished for becomes straightforward — the test
+generator in :mod:`repro.analysis.policy_testing` enumerates the
+rule set's decision surface mechanically.
+
+Grammar (one rule per line, ``#`` comments)::
+
+    rule      := [guard] match "->" action
+    guard     := "inbound" | "outbound"
+    match     := "any" | port-spec [content-spec]
+    port-spec := "port" NUMBER["-"NUMBER] ("/tcp" | "/udp")
+    content-spec := "content" ("~" | "=~") STRING     # prefix / regex
+    action    := "forward" | "drop"
+               | "reflect" [SERVICE]
+               | "redirect" IP [":" PORT]
+               | "limit" RATE
+               | "rewrite"
+    default   := "default" action
+
+Example::
+
+    # Grum containment, as a policy program
+    outbound port 25/tcp            -> reflect smtp_sink
+    outbound port 80/tcp content ~ "GET /grum/" -> forward
+    default                         -> reflect sink
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from typing import List, Optional
+
+from repro.core.policy import (
+    ContainmentPolicy,
+    PolicyContext,
+    register_policy,
+)
+from repro.core.verdicts import ContainmentDecision
+from repro.net.addresses import IPv4Address
+from repro.net.packet import PROTO_TCP, PROTO_UDP
+
+
+class DslError(ValueError):
+    """Malformed policy program."""
+
+
+class Action:
+    """A parsed action clause."""
+
+    __slots__ = ("kind", "service", "target_ip", "target_port", "rate")
+
+    def __init__(self, kind: str, service: Optional[str] = None,
+                 target_ip: Optional[IPv4Address] = None,
+                 target_port: Optional[int] = None,
+                 rate: Optional[float] = None) -> None:
+        self.kind = kind
+        self.service = service
+        self.target_ip = target_ip
+        self.target_port = target_port
+        self.rate = rate
+
+    def __repr__(self) -> str:
+        extras = self.service or self.target_ip or self.rate or ""
+        return f"<Action {self.kind} {extras}>"
+
+
+class Rule:
+    """One ``match -> action`` line."""
+
+    __slots__ = ("direction", "port_lo", "port_hi", "proto",
+                 "content_prefix", "content_regex", "action", "line",
+                 "hits")
+
+    def __init__(self, direction: Optional[str], port_lo: Optional[int],
+                 port_hi: Optional[int], proto: Optional[int],
+                 content_prefix: Optional[bytes],
+                 content_regex: Optional["re.Pattern"],
+                 action: Action, line: str) -> None:
+        self.direction = direction
+        self.port_lo = port_lo
+        self.port_hi = port_hi
+        self.proto = proto
+        self.content_prefix = content_prefix
+        self.content_regex = content_regex
+        self.action = action
+        self.line = line
+        self.hits = 0
+
+    @property
+    def needs_content(self) -> bool:
+        return self.content_prefix is not None or self.content_regex is not None
+
+    def matches_endpoint(self, ctx: PolicyContext) -> bool:
+        if self.direction == "inbound" and ctx.inmate_is_originator:
+            return False
+        if self.direction == "outbound" and not ctx.inmate_is_originator:
+            return False
+        if self.proto is not None and ctx.flow.proto != self.proto:
+            return False
+        if self.port_lo is not None:
+            if not self.port_lo <= ctx.flow.resp_port <= self.port_hi:
+                return False
+        return True
+
+    def matches_content(self, data: bytes) -> bool:
+        if self.content_prefix is not None:
+            return data.startswith(self.content_prefix)
+        if self.content_regex is not None:
+            return self.content_regex.match(data) is not None
+        return True
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.line!r}>"
+
+
+_PORT_RE = re.compile(r"^(\d+)(?:-(\d+))?/(tcp|udp)$")
+
+
+def _parse_action(tokens: List[str], line: str) -> Action:
+    if not tokens:
+        raise DslError(f"missing action in: {line!r}")
+    kind = tokens[0]
+    rest = tokens[1:]
+    if kind == "forward":
+        return Action("forward")
+    if kind == "drop":
+        return Action("drop")
+    if kind == "rewrite":
+        return Action("rewrite")
+    if kind == "reflect":
+        return Action("reflect", service=rest[0] if rest else "sink")
+    if kind == "redirect":
+        if not rest:
+            raise DslError(f"redirect needs a target in: {line!r}")
+        ip_text, _, port_text = rest[0].partition(":")
+        return Action("redirect", target_ip=IPv4Address(ip_text),
+                      target_port=int(port_text) if port_text else None)
+    if kind == "limit":
+        if not rest:
+            raise DslError(f"limit needs a rate in: {line!r}")
+        return Action("limit", rate=float(rest[0]))
+    raise DslError(f"unknown action {kind!r} in: {line!r}")
+
+
+def parse_program(text: str) -> tuple:
+    """Parse a policy program; returns (rules, default_action)."""
+    rules: List[Rule] = []
+    default: Optional[Action] = None
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if "->" not in line:
+            raise DslError(f"line {line_number}: expected 'match -> action'")
+        match_text, _, action_text = line.partition("->")
+        action = _parse_action(shlex.split(action_text.strip()), line)
+        tokens = shlex.split(match_text.strip())
+
+        if tokens and tokens[0] == "default":
+            if default is not None:
+                raise DslError(f"line {line_number}: duplicate default")
+            default = action
+            continue
+
+        direction = None
+        if tokens and tokens[0] in ("inbound", "outbound"):
+            direction = tokens.pop(0)
+
+        port_lo = port_hi = proto = None
+        content_prefix = content_regex = None
+        index = 0
+        while index < len(tokens):
+            token = tokens[index]
+            if token == "any":
+                index += 1
+            elif token == "port":
+                if index + 1 >= len(tokens):
+                    raise DslError(f"line {line_number}: port needs a spec")
+                spec = _PORT_RE.match(tokens[index + 1])
+                if spec is None:
+                    raise DslError(
+                        f"line {line_number}: bad port spec "
+                        f"{tokens[index + 1]!r}")
+                port_lo = int(spec.group(1))
+                port_hi = int(spec.group(2) or port_lo)
+                proto = PROTO_TCP if spec.group(3) == "tcp" else PROTO_UDP
+                index += 2
+            elif token == "content":
+                if index + 2 >= len(tokens) + 1:
+                    raise DslError(f"line {line_number}: content needs "
+                                   "an operator and a pattern")
+                operator = tokens[index + 1]
+                pattern = tokens[index + 2]
+                if operator == "~":
+                    content_prefix = pattern.encode("latin-1")
+                elif operator == "=~":
+                    content_regex = re.compile(pattern.encode("latin-1"))
+                else:
+                    raise DslError(f"line {line_number}: bad content "
+                                   f"operator {operator!r}")
+                index += 3
+            else:
+                raise DslError(
+                    f"line {line_number}: unexpected token {token!r}")
+
+        rules.append(Rule(direction, port_lo, port_hi, proto,
+                          content_prefix, content_regex, action, line))
+    if default is None:
+        raise DslError("policy program needs a 'default -> action' clause")
+    return rules, default
+
+
+@register_policy
+class DslPolicy(ContainmentPolicy):
+    """A containment policy compiled from a policy program."""
+
+    name = "Dsl"
+
+    def __init__(self, program: str = "default -> drop",
+                 services=None, config=None) -> None:
+        super().__init__(services, config)
+        self.program = program
+        self.rules, self.default_action = parse_program(program)
+
+    # ------------------------------------------------------------------
+    def _decision_for(self, ctx: PolicyContext,
+                      action: Action) -> ContainmentDecision:
+        if action.kind == "forward":
+            return self.forward(ctx, annotation="dsl forward")
+        if action.kind == "drop":
+            return self.deny(ctx, annotation="dsl drop")
+        if action.kind == "rewrite":
+            return self.rewrite(ctx, annotation="dsl rewrite")
+        if action.kind == "reflect":
+            return self.reflect(ctx, action.service or "sink",
+                                annotation="dsl reflect")
+        if action.kind == "redirect":
+            return self.redirect(ctx, action.target_ip, action.target_port,
+                                 annotation="dsl redirect")
+        if action.kind == "limit":
+            return self.limit(ctx, action.rate, annotation="dsl limit")
+        raise DslError(f"unhandled action kind {action.kind!r}")
+
+    def decide(self, ctx: PolicyContext) -> Optional[ContainmentDecision]:
+        content_possible = False
+        for rule in self.rules:
+            if not rule.matches_endpoint(ctx):
+                continue
+            if rule.needs_content:
+                content_possible = True
+                continue
+            rule.hits += 1
+            return self._decision_for(ctx, rule.action)
+        if content_possible:
+            return None  # wait for the first payload bytes
+        return self._decision_for(ctx, self.default_action)
+
+    def decide_content(self, ctx: PolicyContext,
+                       data: bytes) -> Optional[ContainmentDecision]:
+        undecided_possible = False
+        for rule in self.rules:
+            if not rule.matches_endpoint(ctx):
+                continue
+            if rule.needs_content:
+                if rule.matches_content(data):
+                    rule.hits += 1
+                    return self._decision_for(ctx, rule.action)
+                # A longer prefix might still match later.
+                prefix = rule.content_prefix
+                if prefix is not None and prefix.startswith(data):
+                    undecided_possible = True
+            else:
+                rule.hits += 1
+                return self._decision_for(ctx, rule.action)
+        if undecided_possible and len(data) < 256:
+            return None
+        return self._decision_for(ctx, self.default_action)
+
+    def coverage(self) -> List[tuple]:
+        """Per-rule hit counts — the policy-development feedback loop."""
+        return [(rule.line, rule.hits) for rule in self.rules]

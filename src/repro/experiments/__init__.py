@@ -1,0 +1,8 @@
+"""Experiment harnesses regenerating the paper's tables and figures.
+
+Each module builds a complete scenario on a fresh :class:`~repro.farm.
+Farm`, runs it on the virtual clock, and returns structured results
+that the benchmark drivers in ``benchmarks/`` print in the paper's
+format.  Tests reuse the same harnesses, so what the benchmarks report
+is continuously verified.
+"""

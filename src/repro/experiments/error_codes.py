@@ -1,0 +1,177 @@
+"""§7.1 "Exploratory containment": decoding delivery-report error codes.
+
+"In preparing for our infiltration of Storm, we tried to understand
+the meaning of the error codes returned in Storm's delivery reports
+using a dual approach of live experimentation, in which we exposed the
+samples to specific error conditions during SMTP transactions, and
+binary analysis."
+
+The model: a reporting drone translates SMTP delivery failures into an
+opaque internal code table and reports the codes to its C&C.  The
+experiment is the live-experimentation half of the paper's dual
+approach — run the drone against a sink scripted to fail at exactly
+one stage, observe which code shows up at the C&C, and recover the
+code table condition by condition (zero harm throughout: the sink is
+inside the farm, only the report reaches the real C&C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.farm import Farm, FarmConfig
+from repro.inmates.images import autoinfect_image
+from repro.malware.base import register_specimen
+from repro.malware.corpus import Sample
+from repro.malware.spambots import SpambotSpecimen
+from repro.net.addresses import IPv4Address
+from repro.policies.spambot import SpambotPolicy
+from repro.world.builder import ExternalWorld
+
+# The drone's firmware table — what binary analysis would eventually
+# dig out of the unpacked sample.  The experiment must recover it
+# without looking.
+FIRMWARE_ERROR_TABLE: Dict[str, int] = {
+    "mail": 17,    # sender rejected
+    "rcpt": 23,    # recipient rejected
+    "data": 9,     # DATA refused
+    "body": 31,    # message body bounced
+    "connect": 4,  # connection failed outright
+}
+
+CONDITIONS: Dict[str, Optional[dict]] = {
+    "reject-at-mail": {"stage": "mail", "code": 550},
+    "reject-at-rcpt": {"stage": "rcpt", "code": 550},
+    "reject-at-data": {"stage": "data", "code": 554},
+    "reject-body": {"stage": "body", "code": 452},
+    "refuse-connection": None,  # modelled via sink drop_probability=1
+}
+
+# Which firmware stage each injected condition exercises.
+CONDITION_TO_STAGE = {
+    "reject-at-mail": "mail",
+    "reject-at-rcpt": "rcpt",
+    "reject-at-data": "data",
+    "reject-body": "body",
+    "refuse-connection": "connect",
+}
+
+
+@register_specimen
+class ReportingDrone(SpambotSpecimen):
+    """A spam drone that reports delivery outcomes to its C&C using
+    the opaque firmware code table."""
+
+    family = "reportingdrone"
+    helo = "drone.pool.example"
+    cnc_domain = "drone-cc.example"
+
+    def _speak_cnc(self, cnc_ip: IPv4Address) -> None:
+        self._cnc_ip = cnc_ip
+        self._http_cnc_request(
+            cnc_ip, 80, f"/drone/cmd?id={self.sample_id[:8]}",
+            lambda body: self._campaign_received(self._parse_campaign(body)),
+        )
+
+    def _report(self, code: int) -> None:
+        self.bump("reports")
+        self._http_cnc_request(
+            self._cnc_ip, 80,
+            f"/drone/report?id={self.sample_id[:8]}&err={code}",
+            lambda body: None,
+        )
+
+    def _session_done(self, conn, engine) -> None:
+        for phase in engine.failure_phases:
+            code = FIRMWARE_ERROR_TABLE.get(phase)
+            if code is not None:
+                self._report(code)
+        super()._session_done(conn, engine)
+
+    def _session_failed(self) -> None:
+        self._report(FIRMWARE_ERROR_TABLE["connect"])
+        super()._session_failed()
+
+
+class ErrorCodeResult:
+    def __init__(self) -> None:
+        # condition -> observed internal codes at the C&C
+        self.observed: Dict[str, List[int]] = {}
+        self.recovered: Dict[str, Optional[int]] = {}
+        self.harm_outside = 0
+
+    def __repr__(self) -> str:
+        return f"<ErrorCodes recovered={self.recovered}>"
+
+
+def run_condition(condition: str, duration: float = 300.0,
+                  seed: int = 141) -> List[int]:
+    """Run the drone under one injected condition; return the internal
+    codes its reports carried."""
+    fault = CONDITIONS[condition]
+    farm = Farm(FarmConfig(seed=seed))
+    sub = farm.create_subfarm("errorstudy")
+    world = ExternalWorld(farm)
+    world.add_standard_victims(domains=2, mailboxes_per_domain=10)
+    cnc = world.add_http_cnc(
+        "reportingdrone", "drone-cc.example",
+        world.default_campaign("reportingdrone", batch_size=5,
+                               send_interval=1.0),
+        path_prefix="/drone/")
+
+    sub.add_catchall_sink()
+    sub.add_smtp_sink(
+        fault=fault,
+        drop_probability=0.999 if condition == "refuse-connection" else 0.0,
+    )
+
+    class DronePolicy(SpambotPolicy):
+        name = "ReportingDrone"
+
+        def decide_cnc(self, ctx):
+            if ctx.flow.resp_port == 80 and ctx.flow.proto == 6:
+                return None
+            return self.fallthrough(ctx)
+
+        def decide_other_content(self, ctx, data):
+            if data.startswith(b"GET /drone/"):
+                return self.forward(ctx, annotation="C&C")
+            if len(data) >= 16:
+                return self.fallthrough(ctx)
+            return None
+
+    policy = DronePolicy()
+    inmate = sub.create_inmate(image_factory=autoinfect_image(),
+                               policy=policy)
+    policy.set_sample(inmate.vlan, inmate.vlan, Sample("reportingdrone"))
+    farm.run(until=duration)
+
+    codes: List[int] = []
+    for request in cnc.requests_served:
+        if request.path.startswith("/drone/report"):
+            for piece in request.path.split("?", 1)[-1].split("&"):
+                key, _, value = piece.partition("=")
+                if key == "err" and value.isdigit():
+                    codes.append(int(value))
+    assert world.total_spam_delivered() == 0, "the experiment must be safe"
+    return codes
+
+
+def run_error_code_study(duration: float = 300.0,
+                         seed: int = 141) -> ErrorCodeResult:
+    result = ErrorCodeResult()
+    for condition in CONDITIONS:
+        codes = run_condition(condition, duration, seed)
+        result.observed[condition] = codes
+        result.recovered[condition] = (
+            max(set(codes), key=codes.count) if codes else None
+        )
+    return result
+
+
+def recovered_table(result: ErrorCodeResult) -> Dict[str, Optional[int]]:
+    """The analyst's reconstructed stage -> code table."""
+    return {
+        CONDITION_TO_STAGE[condition]: code
+        for condition, code in result.recovered.items()
+    }

@@ -1,0 +1,89 @@
+"""§7.1 "Protocol violations": sink strictness vs spambot dialects.
+
+"Our spam harvest accounting looked healthy at the connection level
+(since many connections ensued), but, upon closer inspection, meager
+at the content level (since for some bot families no actual message
+body transmission occurred)."  The SMTP sink followed the RFC too
+closely; repeated HELO/EHLO greetings and loose address formats never
+reached the DATA stage.
+
+The experiment crosses a protocol-clean family (MegaD) and a
+dialect-quirky family (Grum: repeated HELOs, missing colons, bare
+addresses) with a strict and a lenient sink, measuring both the
+connection level (sessions) and the content level (DATA transfers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.farm import Farm, FarmConfig
+from repro.inmates.images import autoinfect_image
+from repro.malware.corpus import Sample
+from repro.net.smtp import Strictness
+from repro.policies.spambot import GrumPolicy, MegadPolicy
+from repro.world.builder import ExternalWorld
+
+FAMILIES = ("grum", "megad")
+STRICTNESS = (Strictness.STRICT, Strictness.LENIENT)
+
+
+class StrictnessCell:
+    """One (family, strictness) cell of the matrix."""
+
+    def __init__(self, family: str, strictness: Strictness) -> None:
+        self.family = family
+        self.strictness = strictness
+        self.sessions = 0
+        self.data_transfers = 0
+        self.syntax_errors = 0
+
+    @property
+    def content_ratio(self) -> float:
+        """DATA transfers per session — the healthy/meager signal."""
+        return self.data_transfers / self.sessions if self.sessions else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<Cell {self.family}/{self.strictness.value}: "
+            f"{self.sessions} sessions, {self.data_transfers} transfers>"
+        )
+
+
+def run_cell(family: str, strictness: Strictness,
+             duration: float = 600.0, seed: int = 11) -> StrictnessCell:
+    farm = Farm(FarmConfig(seed=seed))
+    sub = farm.create_subfarm("strictness")
+    world = ExternalWorld(farm)
+    world.add_standard_victims(domains=2, mailboxes_per_domain=20)
+    campaign = world.default_campaign(family, batch_size=15,
+                                      send_interval=1.0)
+    if family == "megad":
+        world.add_megad_cnc(campaign=campaign)
+        policy = MegadPolicy()
+    else:
+        world.add_http_cnc(family, f"{family}-cc.example", campaign,
+                           path_prefix=f"/{family}/")
+        policy = GrumPolicy()
+
+    sub.add_catchall_sink()
+    sink = sub.add_smtp_sink(strictness=strictness)
+    inmate = sub.create_inmate(image_factory=autoinfect_image(),
+                               policy=policy)
+    policy.set_sample(inmate.vlan, inmate.vlan, Sample(family))
+    farm.run(until=duration)
+
+    cell = StrictnessCell(family, strictness)
+    cell.sessions = sink.sessions_accepted
+    cell.data_transfers = sink.data_transfers
+    return cell
+
+
+def run_matrix(duration: float = 600.0,
+               seed: int = 11) -> Dict[Tuple[str, str], StrictnessCell]:
+    out: Dict[Tuple[str, str], StrictnessCell] = {}
+    for family in FAMILIES:
+        for strictness in STRICTNESS:
+            cell = run_cell(family, strictness, duration, seed)
+            out[(family, strictness.value)] = cell
+    return out

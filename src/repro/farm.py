@@ -1,0 +1,409 @@
+"""Top-level farm orchestration — the public API of the reproduction.
+
+A :class:`Farm` assembles the whole of Figure 1 on one virtual clock:
+the simulated Internet backbone, the central gateway with its upstream
+and trunk interfaces, the inmate network switch, the management
+network with the inmate controller, and any number of independent
+:class:`Subfarm` habitats (Figure 3), each with its own packet router,
+containment server, infrastructure services, and inmates.
+
+Typical use::
+
+    farm = Farm(FarmConfig(seed=1))
+    sub = farm.create_subfarm("spam-study")
+    sub.add_catchall_sink()
+    sub.assign_policy_factory(ReflectAll)
+    inmate = sub.create_inmate(image_factory=my_image)
+    farm.run(until=3600)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.policy import ContainmentPolicy, DefaultDeny, PolicyMap
+from repro.core.server import CS_DEFAULT_PORT, ContainmentServer
+from repro.core.triggers import TriggerEngine
+from repro.gateway.gateway import Gateway
+from repro.gateway.nat import AddressPool, InboundMode, NatTable
+from repro.gateway.router import SubfarmRouter
+from repro.gateway.safety import SafetyFilter
+from repro.inmates.controller import (
+    CONTROLLER_PORT,
+    InmateController,
+    LifecycleMessenger,
+)
+from repro.inmates.hosting import HostingBackend, ImageFactory, Inmate
+from repro.inmates.vlan_pool import VlanPool
+from repro.net.addresses import IPv4Address, IPv4Network
+from repro.net.host import Host
+from repro.net.link import Link, Switch
+from repro.net.router import Router
+from repro.services.resolver import RecursiveResolver
+from repro.services.sink import CatchAllSink
+from repro.services.smtp_sink import SmtpSink
+from repro.sim.engine import Simulator
+
+
+class FarmConfig:
+    """Deployment-wide knobs (defaults mirror the paper's §6.7 setup)."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        global_networks: Optional[List[str]] = None,
+        control_network: str = "198.18.100.0/24",
+        inbound_mode: InboundMode = InboundMode.FORWARD,
+        safety_max_flows_per_window: int = 100000,
+        safety_max_flows_per_destination: int = 50000,
+        safety_window: float = 60.0,
+    ) -> None:
+        self.seed = seed
+        # Four /24s for the inmate population, one for control (§6.7).
+        self.global_networks = [
+            IPv4Network(cidr) for cidr in (
+                global_networks
+                or ["198.18.0.0/24", "198.18.1.0/24",
+                    "198.18.2.0/24", "198.18.3.0/24"]
+            )
+        ]
+        self.control_network = IPv4Network(control_network)
+        self.inbound_mode = inbound_mode
+        self.safety_max_flows_per_window = safety_max_flows_per_window
+        self.safety_max_flows_per_destination = safety_max_flows_per_destination
+        self.safety_window = safety_window
+
+
+class Subfarm:
+    """One independent habitat: router + containment server + services."""
+
+    def __init__(self, farm: "Farm", name: str, index: int) -> None:
+        self.farm = farm
+        self.name = name
+        self.index = index
+        sim = farm.sim
+
+        # Address plan: inmates in 10.(100+i).0.0/16, services in
+        # 10.3.(i).0/24 (the paper's figures use 10.3.x service space).
+        self.internal_network = IPv4Network(f"10.{100 + index}.0.0/16")
+        self.gateway_ip = IPv4Address(f"10.{100 + index}.0.1")
+        self.service_network = IPv4Network(f"10.3.{index}.0/24")
+        self._next_service_host = 2
+
+        internal_pool = AddressPool([self.internal_network],
+                                    reserved=[self.gateway_ip])
+        self.nat = NatTable(internal_pool, farm.global_pool,
+                            inbound_mode=farm.config.inbound_mode)
+        self.safety = SafetyFilter(
+            farm.config.safety_max_flows_per_window,
+            farm.config.safety_max_flows_per_destination,
+            farm.config.safety_window,
+        )
+
+        self.cs_ip = IPv4Address(f"10.3.{index}.1")
+        self.dns_ip = IPv4Address(f"10.3.{index}.53")
+
+        self.router = SubfarmRouter(
+            sim=sim,
+            name=name,
+            vlan_ids=set(),
+            nat=self.nat,
+            safety=self.safety,
+            cs_ip=self.cs_ip,
+            cs_tcp_port=CS_DEFAULT_PORT,
+            cs_udp_port=CS_DEFAULT_PORT,
+            gateway_ip=self.gateway_ip,
+            dns_ip=self.dns_ip,
+            emit_to_vlan=farm.gateway.send_to_vlan,
+            emit_to_service=farm.gateway.send_to_service,
+            emit_upstream=farm.gateway.send_upstream,
+            control_pool=farm.control_pool,
+        )
+        farm.gateway.add_router(self.router)
+
+        # Containment server: a host on the service segment plus an
+        # out-of-band interface on the management network (§5.5).
+        self.cs_host = Host(sim, f"{name}-cs", ip=self.cs_ip)
+        farm.gateway.attach_service_host(self.router, self.cs_host)
+        self.cs_mgmt_host = farm.add_management_host(f"{name}-cs-mgmt")
+        messenger = LifecycleMessenger(self.cs_mgmt_host,
+                                       farm.controller_ip, CONTROLLER_PORT)
+
+        self.policy_map = PolicyMap(default=DefaultDeny())
+        self.services: Dict[str, Tuple[IPv4Address, int]] = {}
+        self.containment_server = ContainmentServer(
+            sim=sim,
+            host=self.cs_host,
+            policy_map=self.policy_map,
+            services=self.services,
+            lifecycle=messenger,
+            subfarm=self,
+        )
+        self.trigger_engine = TriggerEngine(
+            sim, lifecycle=self.containment_server.issue_lifecycle
+        )
+        self.containment_server.attach_triggers(self.trigger_engine)
+
+        # DNS resolver service host (restricted broadcast domain).
+        self.resolver_host = Host(sim, f"{name}-dns", ip=self.dns_ip)
+        farm.gateway.attach_service_host(self.router, self.resolver_host,
+                                         trusted=True)
+        self.resolver = RecursiveResolver(
+            self.resolver_host, upstream_ip=farm.authoritative_dns_ip
+        )
+
+        self.inmates: Dict[int, Inmate] = {}
+        self.sinks: Dict[str, object] = {}
+        self.extra_containment_servers: List[ContainmentServer] = []
+
+    # ------------------------------------------------------------------
+    # Services
+    # ------------------------------------------------------------------
+    def _allocate_service_ip(self) -> IPv4Address:
+        ip = IPv4Address(
+            self.service_network.network + self._next_service_host
+        )
+        self._next_service_host += 1
+        return ip
+
+    def add_service_host(self, name: str, trusted: bool = False,
+                         accept_any_ip: bool = False) -> Host:
+        """Create and wire a bare service host; callers attach apps."""
+        host = Host(self.farm.sim, f"{self.name}-{name}",
+                    ip=self._allocate_service_ip())
+        host.accept_any_ip = accept_any_ip
+        self.farm.gateway.attach_service_host(self.router, host,
+                                              trusted=trusted)
+        return host
+
+    def register_service(self, name: str, ip: IPv4Address,
+                         port: int) -> None:
+        """Expose a service to policies by name (Figure 6 sections)."""
+        self.services[name] = (IPv4Address(ip), port)
+
+    def add_catchall_sink(self, name: str = "sink") -> CatchAllSink:
+        host = self.add_service_host(name, accept_any_ip=True)
+        sink = CatchAllSink(host)
+        host.udp.bind_any(sink._datagram)
+        self.sinks[name] = sink
+        self.register_service(name, host.ip, 0)
+        return sink
+
+    def set_cs_service_time(self, service_time: float) -> None:
+        """Enable the §7.2 processing model on every containment
+        server in this subfarm."""
+        self.containment_server.service_time = service_time
+        for server in self.extra_containment_servers:
+            server.service_time = service_time
+
+    def add_containment_servers(self, count: int,
+                                service_time: float = 0.0):
+        """Grow the subfarm into containment-cluster mode (§7.2).
+
+        Adds ``count`` additional servers sharing this subfarm's
+        policy map and services; the router spreads inmates across the
+        cluster (sticky per VLAN).  Returns the full cluster.
+        """
+        from repro.core.cluster import ContainmentServerCluster
+
+        self.containment_server.service_time = service_time
+        for index in range(count):
+            host = self.add_service_host(
+                f"cs{index + 2}", trusted=False)
+            server = ContainmentServer(
+                sim=self.farm.sim,
+                host=host,
+                policy_map=self.policy_map,
+                services=self.services,
+                lifecycle=self.containment_server.lifecycle,
+                subfarm=self,
+                service_time=service_time,
+            )
+            server.attach_triggers(self.trigger_engine)
+            self.extra_containment_servers.append(server)
+            self.router.add_containment_server(host.ip)
+        return ContainmentServerCluster(
+            [self.containment_server] + self.extra_containment_servers
+        )
+
+    def add_smtp_sink(self, name: str = "smtp_sink",
+                      **kwargs) -> SmtpSink:
+        host = self.add_service_host(name, accept_any_ip=True)
+        sink = SmtpSink(host, **kwargs)
+        self.sinks[name] = sink
+        self.register_service(name, host.ip, 0)
+        return sink
+
+    # ------------------------------------------------------------------
+    # Policies
+    # ------------------------------------------------------------------
+    def assign_policy(self, policy: ContainmentPolicy,
+                      first_vlan: int, last_vlan: Optional[int] = None) -> None:
+        policy.services = self.services
+        self.policy_map.assign(first_vlan, last_vlan or first_vlan, policy)
+
+    def set_default_policy(self, policy: ContainmentPolicy) -> None:
+        policy.services = self.services
+        self.policy_map.default = policy
+
+    # ------------------------------------------------------------------
+    # Inmates
+    # ------------------------------------------------------------------
+    def create_inmate(
+        self,
+        image_factory: ImageFactory,
+        backend: Optional[HostingBackend] = None,
+        policy: Optional[ContainmentPolicy] = None,
+        autostart: bool = True,
+        vlan: Optional[int] = None,
+    ) -> Inmate:
+        if vlan is None:
+            vlan = self.farm.vlan_pool.allocate()
+        else:
+            self.farm.vlan_pool.allocate_specific(vlan)
+        self.router.vlan_ids.add(vlan)
+        self.farm.gateway._router_by_vlan[vlan] = self.router
+        inmate = Inmate(self.farm.sim, vlan, self.farm.inmate_switch,
+                        image_factory, backend)
+        self.inmates[vlan] = inmate
+        self.farm.controller.register(inmate)
+        if policy is not None:
+            self.assign_policy(policy, vlan)
+        if autostart:
+            inmate.start()
+        return inmate
+
+    def export_traces(self, directory: str) -> Dict[str, str]:
+        """Write this subfarm's inmate-side trace (and the gateway's
+        upstream trace) as real pcap files — §5.6's two-pronged
+        recording, ready for sharing.  The inmate-side capture uses
+        the unroutable internal addresses, giving the "immediate
+        anonymity" the paper leans on for data sharing."""
+        import os
+
+        from repro.net.capture import write_pcap
+
+        os.makedirs(directory, exist_ok=True)
+        paths = {}
+        inmate_path = os.path.join(directory, f"{self.name}-inmate.pcap")
+        write_pcap(inmate_path, self.router.trace.records)
+        paths["inmate"] = inmate_path
+        upstream_path = os.path.join(directory, "upstream.pcap")
+        write_pcap(upstream_path, self.farm.gateway.upstream_trace.records)
+        paths["upstream"] = upstream_path
+        return paths
+
+    def remove_inmate(self, vlan: int) -> None:
+        inmate = self.inmates.pop(vlan, None)
+        if inmate is None:
+            return
+        inmate.terminate()
+        self.farm.controller.unregister(vlan)
+        self.router.forget_inmate(vlan)
+        self.router.vlan_ids.discard(vlan)
+        self.farm.gateway._router_by_vlan.pop(vlan, None)
+        self.farm.vlan_pool.release(vlan)
+        self.nat.unbind(vlan)
+
+    def __repr__(self) -> str:
+        return f"<Subfarm {self.name} inmates={len(self.inmates)}>"
+
+
+class Farm:
+    """The complete GQ deployment."""
+
+    def __init__(self, config: Optional[FarmConfig] = None) -> None:
+        self.config = config or FarmConfig()
+        self.sim = Simulator(seed=self.config.seed)
+
+        self.backbone = Router(self.sim, "internet")
+        self.gateway = Gateway(self.sim)
+        self.inmate_switch = Switch(self.sim, "inmate-net")
+        self.gateway.attach_trunk(self.inmate_switch)
+        self.gateway.attach_upstream(
+            self.backbone,
+            self.config.global_networks + [self.config.control_network],
+        )
+
+        self.global_pool = AddressPool(self.config.global_networks)
+        self.control_pool = AddressPool([self.config.control_network])
+        self.vlan_pool = VlanPool(first=2)
+
+        # Management network: controller host plus containment-server
+        # management interfaces, all on one switch behind the gateway.
+        self.mgmt_switch = Switch(self.sim, "mgmt-net")
+        self._next_mgmt_host = 2
+        self.controller_ip = IPv4Address("172.16.0.1")
+        self.controller_host = Host(self.sim, "inmate-controller",
+                                    ip=self.controller_ip, prefix_len=16)
+        Link(self.sim, self.controller_host.attach_port(),
+             self.mgmt_switch.attach_port(access_vlan=1))
+        self.controller = InmateController(self.sim,
+                                           on_action=self._on_lifecycle)
+        self.controller.bind(self.controller_host)
+
+        # The simulated external universe's authoritative DNS: wired in
+        # lazily by repro.world; None means resolvers answer only from
+        # their static zones.
+        self.authoritative_dns_ip: Optional[IPv4Address] = None
+
+        self.subfarms: Dict[str, Subfarm] = {}
+
+    # ------------------------------------------------------------------
+    def create_subfarm(self, name: str) -> Subfarm:
+        if name in self.subfarms:
+            raise ValueError(f"subfarm {name!r} already exists")
+        subfarm = Subfarm(self, name, index=len(self.subfarms))
+        self.subfarms[name] = subfarm
+        return subfarm
+
+    def add_management_host(self, name: str) -> Host:
+        ip = IPv4Address(f"172.16.0.{self._next_mgmt_host}")
+        self._next_mgmt_host += 1
+        host = Host(self.sim, name, ip=ip, prefix_len=16)
+        Link(self.sim, host.attach_port(),
+             self.mgmt_switch.attach_port(access_vlan=1))
+        return host
+
+    def add_external_host(self, name: str, ip: str,
+                          latency: float = 0.02) -> Host:
+        """Create a host in the simulated outside world."""
+        host = Host(self.sim, name, ip=IPv4Address(ip))
+        self.backbone.attach_host(host, latency=latency)
+        return host
+
+    def add_gre_tunnel(self, donated_cidr: str, pop_ip: str):
+        """Grow the farm's global address space through a GRE tunnel
+        to a third-party point of presence (§7.2).
+
+        Returns (gateway endpoint, PoP).  The donated prefix joins the
+        global NAT pool; new inmates draw from it once the original
+        /24s are exhausted.
+        """
+        from repro.gateway.tunnel import GreTunnelEndpoint
+        from repro.world.gre_pop import GrePop
+
+        donated = IPv4Network(donated_cidr)
+        tunnel_local = self.control_pool.allocate()
+        endpoint = GreTunnelEndpoint(tunnel_local, IPv4Address(pop_ip),
+                                     [donated])
+        self.gateway.add_tunnel(endpoint)
+        pop = GrePop(self.sim, self.backbone, IPv4Address(pop_ip),
+                     [donated], tunnel_local)
+        self.global_pool.add_network(donated)
+        return endpoint, pop
+
+    def _on_lifecycle(self, action: str, vlan: int) -> None:
+        """Clear gateway state when an inmate is recycled."""
+        if action in ("revert", "terminate", "stop"):
+            router = self.gateway.router_for_vlan(vlan)
+            if router is not None:
+                router.forget_inmate(vlan)
+
+    # ------------------------------------------------------------------
+    def run(self, until: float, max_events: Optional[int] = None) -> float:
+        """Advance the whole deployment to virtual time ``until``."""
+        return self.sim.run(until=until, max_events=max_events)
+
+    def __repr__(self) -> str:
+        return f"<Farm subfarms={list(self.subfarms)} t={self.sim.now:.1f}>"

@@ -1,0 +1,18 @@
+"""GQ's central gateway.
+
+The gateway sits between the outside network and the farm (Figure 1),
+and hosts per-subfarm packet routers (Figure 3).  Each router combines:
+
+* a learning VLAN bridge (:mod:`repro.gateway.bridge`),
+* network address translation (:mod:`repro.gateway.nat`),
+* a connection-rate safety filter (:mod:`repro.gateway.safety`),
+* the per-flow containment relay that couples flows to the containment
+  server via the shim protocol and then enforces verdicts at packet
+  level (:mod:`repro.gateway.flows`, :mod:`repro.gateway.router`),
+* two-pronged trace capture (§5.6).
+"""
+
+from repro.gateway.gateway import Gateway
+from repro.gateway.router import SubfarmRouter
+
+__all__ = ["Gateway", "SubfarmRouter"]

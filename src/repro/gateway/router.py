@@ -1,0 +1,1114 @@
+"""The per-subfarm packet router (§5.1, §6.1).
+
+One router instance handles a disjoint set of VLAN IDs — a *subfarm*
+(Figure 3).  The router is pure mechanism: it couples every flow to
+the subfarm's containment server through the shim protocol, then
+enforces whatever verdict comes back.  Policy lives entirely in the
+containment server.
+
+TCP containment walk-through (Figure 5, REWRITE case):
+
+1. Inmate SYN to target ``T`` arrives on the trunk.  The router
+   creates a :class:`~repro.gateway.flows.FlowRecord`, rewrites the
+   destination to the containment server's fixed address/port (and the
+   source port to a per-flow mux port so concurrent flows cannot
+   collide on the server), and forwards it.  The handshake therefore
+   physically completes between the inmate's stack and the containment
+   server's — with the router translating addresses so the inmate
+   believes it is talking to ``T``.
+2. On the inmate's final ACK the router injects the 24-byte request
+   shim into the stream (``SEQ += |REQ SHIM|`` for everything after).
+3. The containment server replies with the response shim, which the
+   router strips from the return stream (``SEQ -= |RSP SHIM|``),
+   learning the verdict.
+4. REWRITE flows stay coupled to the server (content control); the
+   server may open an onward connection through its nonce port, which
+   the router NATs to the inmate's global address so the real target
+   sees the inmate.  All other verdicts are *handed off*: the router
+   replays the original SYN (plus any buffered payload) toward the
+   enforced destination, aborts the containment-server leg, and
+   translates sequence numbers between the two server ISNs for the
+   rest of the flow's life.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.shim import (
+    RequestShim,
+    ResponseShim,
+    ShimError,
+    peek_length,
+)
+from repro.core.verdicts import ContainmentDecision, Verdict
+from repro.gateway.bridge import LearningBridge
+from repro.gateway.flows import (
+    FlowLogEntry,
+    FlowPhase,
+    FlowRecord,
+    TokenBucket,
+)
+from repro.gateway.nat import InboundMode, NatTable
+from repro.gateway.safety import SafetyFilter
+from repro.net.addresses import IPv4Address
+from repro.net.capture import PacketTrace
+from repro.net.flow import FiveTuple
+from repro.net.packet import (
+    ACK,
+    FIN,
+    IPv4Packet,
+    PROTO_TCP,
+    PROTO_UDP,
+    PSH,
+    RST,
+    SYN,
+    TCPSegment,
+    UDPDatagram,
+)
+from repro.net.tcp import seq_add, seq_sub
+from repro.services.dhcp import DhcpMessage, DHCP_SERVER_PORT, DHCP_CLIENT_PORT
+from repro.sim.engine import Simulator
+
+# Emission callbacks supplied by the owning Gateway.
+EmitToVlan = Callable[[int, IPv4Packet], None]
+EmitToService = Callable[[IPv4Address, IPv4Packet], None]
+EmitUpstream = Callable[[IPv4Packet], None]
+
+
+class SubfarmRouter:
+    """Packet forwarding plus containment mechanism for one subfarm."""
+
+    MUX_PORT_BASE = 20000
+    NONCE_PORT_BASE = 40000
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        vlan_ids: Set[int],
+        nat: NatTable,
+        safety: SafetyFilter,
+        cs_ip: IPv4Address,
+        cs_tcp_port: int,
+        cs_udp_port: int,
+        gateway_ip: IPv4Address,
+        dns_ip: Optional[IPv4Address],
+        emit_to_vlan: EmitToVlan,
+        emit_to_service: EmitToService,
+        emit_upstream: EmitUpstream,
+        control_pool=None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.vlan_ids = set(vlan_ids)
+        self.nat = nat
+        self.safety = safety
+        self.cs_ip = IPv4Address(cs_ip)
+        # Containment-server cluster support (§7.2): additional
+        # servers registered via add_containment_server(); selection
+        # is sticky per inmate (same VLAN -> same server).
+        self.cs_ips = {self.cs_ip}
+        self._cs_list = [self.cs_ip]
+        self.cs_tcp_port = cs_tcp_port
+        self.cs_udp_port = cs_udp_port
+        self.gateway_ip = IPv4Address(gateway_ip)
+        self.dns_ip = IPv4Address(dns_ip) if dns_ip is not None else None
+        self._emit_to_vlan = emit_to_vlan
+        self._emit_to_service = emit_to_service
+        self._emit_upstream = emit_upstream
+        self.control_pool = control_pool
+
+        self.bridge = LearningBridge()
+        self.trace = PacketTrace(f"{name}-inmate-side")
+
+        # Infra services reachable without containment (the restricted
+        # broadcast domain of §5.3) plus all registered service hosts.
+        self.trusted_ips: Set[IPv4Address] = set()
+        self.service_ips: Set[IPv4Address] = set()
+        if self.dns_ip is not None:
+            self.trusted_ips.add(self.dns_ip)
+
+        self._flows: List[FlowRecord] = []
+        self._index: Dict[FiveTuple, FlowRecord] = {}
+        self._by_mux: Dict[int, FlowRecord] = {}
+        self._by_nonce: Dict[int, FlowRecord] = {}
+        self._next_mux = self.MUX_PORT_BASE
+        self._next_nonce = self.NONCE_PORT_BASE
+
+        # Per-service NAT for outbound service traffic (control /24).
+        self._service_nat: Dict[IPv4Address, IPv4Address] = {}
+        self._service_nat_rev: Dict[IPv4Address, IPv4Address] = {}
+
+        # Flow-table housekeeping: mux/nonce ports and index entries of
+        # idle flows are reclaimed periodically so day-scale runs never
+        # exhaust the port spaces.  The sweeper arms itself while flows
+        # exist and goes quiet with them (keeping the event queue
+        # drainable).
+        self.housekeeping_interval = 300.0
+        self.flow_idle_timeout = 600.0
+        self._housekeeping_armed = False
+
+        self.flow_log: List[FlowLogEntry] = []
+        self.counters = {
+            "flows_created": 0,
+            "flows_refused": 0,
+            "shims_injected": 0,
+            "shims_stripped": 0,
+            "handoffs": 0,
+            "packets_relayed": 0,
+            "dhcp_leases": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Public queries
+    # ------------------------------------------------------------------
+    def flows(self) -> List[FlowRecord]:
+        return list(self._flows)
+
+    def active_flow_count(self) -> int:
+        return sum(
+            1 for f in self._flows
+            if f.phase in (FlowPhase.SHIM, FlowPhase.HANDOFF, FlowPhase.ENFORCED)
+        )
+
+    def register_service(self, ip: IPv4Address, trusted: bool = False) -> None:
+        ip = IPv4Address(ip)
+        self.service_ips.add(ip)
+        if trusted:
+            self.trusted_ips.add(ip)
+
+    def add_containment_server(self, ip: IPv4Address) -> None:
+        """Register an additional containment server (cluster mode)."""
+        ip = IPv4Address(ip)
+        if ip not in self.cs_ips:
+            self.cs_ips.add(ip)
+            self._cs_list.append(ip)
+
+    def _select_cs(self, vlan: int) -> IPv4Address:
+        """Sticky selection: the same server always handles the same
+        inmate (§7.2's suggested policy)."""
+        return self._cs_list[vlan % len(self._cs_list)]
+
+    # ------------------------------------------------------------------
+    # Allocation helpers
+    # ------------------------------------------------------------------
+    def _allocate_mux(self) -> int:
+        for _ in range(20000):
+            port = self._next_mux
+            self._next_mux += 1
+            if self._next_mux >= self.NONCE_PORT_BASE:
+                self._next_mux = self.MUX_PORT_BASE
+            if port not in self._by_mux:
+                return port
+        raise RuntimeError("mux port space exhausted")
+
+    def _allocate_nonce(self) -> int:
+        for _ in range(20000):
+            port = self._next_nonce
+            self._next_nonce += 1
+            if self._next_nonce >= 60000:
+                self._next_nonce = self.NONCE_PORT_BASE
+            if port not in self._by_nonce:
+                return port
+        raise RuntimeError("nonce port space exhausted")
+
+    # ------------------------------------------------------------------
+    # Entry point: frames from inmates (trunk, tagged)
+    # ------------------------------------------------------------------
+    def inmate_frame(self, frame, vlan: int) -> None:
+        self.trace.capture(self.sim.now, frame, point="inmate")
+        packet = frame.payload
+        if not isinstance(packet, IPv4Packet):
+            return
+        self.bridge.learn(vlan, frame.src, self.sim.now,
+                          ip=packet.src if packet.src.value else None)
+
+        if packet.proto == PROTO_UDP and packet.udp.dport == DHCP_SERVER_PORT:
+            self._handle_dhcp(vlan, frame, packet)
+            return
+        if packet.dst == self.gateway_ip:
+            return  # traffic to the gateway itself (nothing listens)
+        if packet.dst.value == 0xFFFFFFFF:
+            return  # other broadcast boot chatter
+        if packet.dst in self.trusted_ips:
+            # Restricted broadcast domain: DHCP/DNS-style services are
+            # reachable without containment.
+            self._emit_to_service(packet.dst, packet)
+            return
+
+        key = self._directed_key(packet)
+        record = self._index.get(key)
+        if record is not None:
+            self._dispatch_known(record, packet, key)
+            return
+        self._new_flow(packet, vlan=vlan, inmate_is_originator=True)
+
+    # ------------------------------------------------------------------
+    # Entry point: frames from subfarm service hosts
+    # ------------------------------------------------------------------
+    def service_frame(self, frame) -> None:
+        packet = frame.payload
+        if not isinstance(packet, IPv4Packet):
+            return
+        key = self._directed_key(packet)
+        if key is not None:
+            record = self._index.get(key)
+            if record is not None:
+                self._dispatch_known(record, packet, key)
+                return
+        # Containment-server legs are matched by mux/nonce source port
+        # when not in the alias index yet (first SYN of a nonce leg).
+        if packet.src in self.cs_ips and packet.proto == PROTO_TCP:
+            segment = packet.tcp
+            if segment.sport == self.cs_tcp_port and segment.dport in self._by_mux:
+                self._relay_server_packet(self._by_mux[segment.dport], packet, "cs")
+                return
+            if segment.sport in self._by_nonce:
+                self._handle_nonce_leg(self._by_nonce[segment.sport], packet)
+                return
+        if packet.src in self.cs_ips and packet.proto == PROTO_UDP:
+            datagram = packet.udp
+            if datagram.sport == self.cs_udp_port and datagram.dport in self._by_mux:
+                self._handle_cs_udp(self._by_mux[datagram.dport], packet)
+                return
+        # Stateless service traffic: replies to inmates, service-to-
+        # service chatter, or service-originated outbound (DNS
+        # recursion, banner grabs) which rides the control-network NAT.
+        vlan = self.bridge.vlan_for_ip(packet.dst)
+        if vlan is not None:
+            self._emit_to_vlan(vlan, packet)
+            return
+        if packet.dst in self.service_ips:
+            self._emit_to_service(packet.dst, packet)
+            return
+        self._service_outbound(packet)
+
+    # ------------------------------------------------------------------
+    # Entry point: packets from upstream addressed into this subfarm
+    # ------------------------------------------------------------------
+    def upstream_packet(self, packet: IPv4Packet) -> None:
+        key = self._directed_key(packet)
+        if key is not None:
+            record = self._index.get(key)
+            if record is not None:
+                self._dispatch_known(record, packet, key)
+                return
+        # Return traffic for service-originated outbound?
+        internal = self._service_nat_rev.get(packet.dst)
+        if internal is not None:
+            packet.dst = internal
+            self._emit_to_service(internal, packet)
+            return
+        # Unsolicited inbound toward an inmate's global address.
+        vlan = self.nat.vlan_for_global(packet.dst)
+        if vlan is None:
+            return
+        if self.nat.inbound_mode is InboundMode.DROP:
+            return  # home-user NAT: nothing gets in
+        if packet.proto == PROTO_TCP and (
+            not packet.tcp.syn or packet.tcp.has_ack
+        ):
+            return  # stray non-SYN (or SYN-ACK) for an unknown flow
+        self._new_flow(packet, vlan=vlan, inmate_is_originator=False)
+
+    def owns_global(self, address: IPv4Address) -> bool:
+        """Does this router answer for a global (upstream) address?"""
+        return (
+            self.nat.vlan_for_global(address) is not None
+            or address in self._service_nat_rev
+        )
+
+    # ------------------------------------------------------------------
+    # DHCP (the gateway assigns internal addresses itself — §5.3)
+    # ------------------------------------------------------------------
+    def _handle_dhcp(self, vlan: int, frame, packet: IPv4Packet) -> None:
+        try:
+            message = DhcpMessage.from_bytes(packet.udp.payload)
+        except ValueError:
+            return
+        internal = self.nat.bind(vlan)
+        if message.kind == DhcpMessage.DISCOVER:
+            reply = DhcpMessage.offer(
+                message.xid, message.chaddr, internal,
+                router=self.gateway_ip, dns=self.dns_ip or self.gateway_ip,
+            )
+        elif message.kind == DhcpMessage.REQUEST:
+            reply = DhcpMessage.ack(
+                message.xid, message.chaddr, internal,
+                router=self.gateway_ip, dns=self.dns_ip or self.gateway_ip,
+            )
+            self.counters["dhcp_leases"] += 1
+        else:
+            return
+        out = IPv4Packet(
+            self.gateway_ip, internal,
+            UDPDatagram(DHCP_SERVER_PORT, DHCP_CLIENT_PORT, reply.to_bytes()),
+        )
+        self._emit_to_vlan(vlan, out)
+
+    # ------------------------------------------------------------------
+    # Flow creation and the shim (SHIM phase)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _directed_key(packet: IPv4Packet) -> Optional[FiveTuple]:
+        if packet.proto not in (PROTO_TCP, PROTO_UDP):
+            return None
+        return FiveTuple.from_packet(packet)
+
+    def _new_flow(self, packet: IPv4Packet, vlan: int,
+                  inmate_is_originator: bool) -> None:
+        key = self._directed_key(packet)
+        if key is None:
+            return
+        if packet.proto == PROTO_TCP and (
+            not packet.tcp.syn or packet.tcp.has_ack
+        ):
+            return  # mid-flow packet for an unknown flow: drop
+
+        # The safety filter guards against *outbound* harm; inbound
+        # traffic (e.g. worm scans the honeyfarm wants to attract) is
+        # not rate-limited here.
+        if inmate_is_originator and not self.safety.admit(
+            self.sim.now, vlan, key.resp_ip
+        ):
+            record = FlowRecord(key, vlan, inmate_is_originator,
+                                self.sim.now, 0, 0)
+            record.phase = FlowPhase.REFUSED
+            self._flows.append(record)
+            self.flow_log.append(FlowLogEntry(self.sim.now, record))
+            self.counters["flows_refused"] += 1
+            return
+
+        mux = self._allocate_mux()
+        nonce = self._allocate_nonce()
+        record = FlowRecord(key, vlan, inmate_is_originator,
+                            self.sim.now, mux, nonce)
+        record.cs_ip = self._select_cs(vlan)
+        self._arm_housekeeping()
+        self._flows.append(record)
+        self.counters["flows_created"] += 1
+        self._by_mux[mux] = record
+        self._by_nonce[nonce] = record
+        # Client-side aliases (as the originator addresses the flow).
+        self._index[key] = record
+        self._index[key.reversed()] = record
+
+        if packet.proto == PROTO_TCP:
+            record.client_isn = packet.tcp.seq
+            self._send_to_cs_tcp(record, packet.tcp)
+        else:
+            record.udp_pending.append(packet.udp.copy())
+            self._send_to_cs_udp(record, packet.udp)
+
+    # ---- TCP toward the containment server ---------------------------
+    def _send_to_cs_tcp(self, record: FlowRecord, segment: TCPSegment) -> None:
+        out = segment.copy()
+        out.sport = record.mux_port
+        out.dport = self.cs_tcp_port
+        out.seq = seq_add(out.seq, record.c2s_inj)
+        out.ack = seq_add(out.ack, record.s2c_rem) if out.has_ack else 0
+        packet = IPv4Packet(record.orig.orig_ip, record.cs_ip, out)
+        self.counters["packets_relayed"] += 1
+        self._emit_to_service(record.cs_ip, packet)
+
+    def _inject_request_shim(self, record: FlowRecord) -> None:
+        shim = RequestShim(record.orig, record.vlan, record.nonce_port)
+        payload = shim.to_bytes()
+        segment = TCPSegment(
+            sport=record.mux_port, dport=self.cs_tcp_port,
+            seq=seq_add(record.client_isn, 1),
+            ack=seq_add(record.cs_isn, 1),
+            flags=ACK | PSH, payload=payload,
+        )
+        record.c2s_inj = len(payload)
+        record.shim_injected = True
+        self.counters["shims_injected"] += 1
+        packet = IPv4Packet(record.orig.orig_ip, record.cs_ip, segment)
+        self._emit_to_service(record.cs_ip, packet)
+
+    # ---- UDP toward the containment server ---------------------------
+    def _send_to_cs_udp(self, record: FlowRecord, datagram: UDPDatagram) -> None:
+        shim = RequestShim(record.orig, record.vlan, record.nonce_port)
+        wrapped = UDPDatagram(
+            record.mux_port, self.cs_udp_port,
+            shim.to_bytes() + datagram.payload,
+        )
+        self.counters["shims_injected"] += 1
+        packet = IPv4Packet(record.orig.orig_ip, record.cs_ip, wrapped)
+        self._emit_to_service(record.cs_ip, packet)
+
+    # ------------------------------------------------------------------
+    # Known-flow dispatch
+    # ------------------------------------------------------------------
+    def _dispatch_known(self, record: FlowRecord, packet: IPv4Packet,
+                        key: FiveTuple) -> None:
+        record.touch(self.sim.now)
+        # A pure SYN with a new ISN on the originator tuple is a new
+        # incarnation of the flow (port reuse after close, or a fresh
+        # host generation after a revert): evict the stale record and
+        # start containment over.
+        if (packet.proto == PROTO_TCP and key == record.orig
+                and packet.tcp.syn and not packet.tcp.has_ack
+                and packet.tcp.seq != record.client_isn):
+            self._evict(record)
+            self._new_flow(packet, vlan=record.vlan,
+                           inmate_is_originator=record.inmate_is_originator)
+            return
+        if record.phase in (FlowPhase.DROPPED, FlowPhase.REFUSED,
+                            FlowPhase.CLOSED):
+            return
+        # Which leg did this packet arrive on?
+        if key == record.orig:
+            self._relay_client_packet(record, packet)
+        elif key == record.orig.reversed():
+            # Only possible for legs whose return alias equals the
+            # reversed originator tuple (never the case: CS and dst legs
+            # register their own aliases).  Treat as server packet.
+            self._relay_server_packet(record, packet, "dst")
+        elif packet.src in self.cs_ips:
+            if (packet.proto == PROTO_TCP
+                    and packet.tcp.sport == record.nonce_port):
+                self._handle_nonce_leg(record, packet)
+            elif packet.proto == PROTO_UDP:
+                self._handle_cs_udp(record, packet)
+            else:
+                self._relay_server_packet(record, packet, "cs")
+        elif record.nonce_active and self._is_nonce_return(record, packet):
+            self._relay_nonce_return(record, packet)
+        else:
+            self._relay_server_packet(record, packet, "dst")
+
+    # ------------------------------------------------------------------
+    # Client-side relay
+    # ------------------------------------------------------------------
+    def _relay_client_packet(self, record: FlowRecord, packet: IPv4Packet) -> None:
+        if packet.proto == PROTO_UDP:
+            self._relay_client_udp(record, packet)
+            return
+        segment = packet.tcp
+        record.c2s_packets += 1
+        record.c2s_bytes += len(segment.payload)
+
+        if segment.rst:
+            self._abort_flow(record, notify_client=False)
+            return
+
+        if record.phase == FlowPhase.SHIM or (
+            record.phase == FlowPhase.ENFORCED and record.decision is not None
+            and record.decision.verdict & Verdict.REWRITE
+        ):
+            # Toward the containment server.  Inject the request shim
+            # the moment the inmate completes the handshake.
+            if (record.phase == FlowPhase.SHIM
+                    and not record.shim_injected
+                    and record.cs_isn is not None
+                    and segment.has_ack and not segment.syn):
+                self._send_to_cs_tcp(record, segment)
+                self._inject_request_shim(record)
+                if segment.payload:
+                    record.client_buffer.extend(segment.payload)
+                if segment.fin:
+                    record.client_fin = True
+                return
+            if record.phase == FlowPhase.SHIM and segment.payload:
+                record.client_buffer.extend(segment.payload)
+            if segment.fin:
+                record.client_fin = True
+            self._send_to_cs_tcp(record, segment)
+            return
+
+        if record.phase == FlowPhase.HANDOFF:
+            # Destination handshake still in flight: buffer payload.
+            if segment.payload:
+                record.client_buffer.extend(segment.payload)
+            if segment.fin:
+                record.client_fin = True
+            return
+
+        if record.phase == FlowPhase.ENFORCED:
+            self._send_to_dst(record, segment)
+
+    def _relay_client_udp(self, record: FlowRecord, packet: IPv4Packet) -> None:
+        datagram = packet.udp
+        record.c2s_packets += 1
+        record.c2s_bytes += len(datagram.payload)
+        if record.phase == FlowPhase.SHIM:
+            record.udp_pending.append(datagram.copy())
+            return
+        if record.phase != FlowPhase.ENFORCED or record.decision is None:
+            return
+        verdict = record.decision.verdict
+        if verdict & Verdict.REWRITE:
+            self._send_to_cs_udp(record, datagram)
+            return
+        self._send_udp_to_dst(record, datagram)
+
+    # ------------------------------------------------------------------
+    # Server-side relay (containment server leg or destination leg)
+    # ------------------------------------------------------------------
+    def _relay_server_packet(self, record: FlowRecord, packet: IPv4Packet,
+                             leg: str) -> None:
+        if packet.proto == PROTO_UDP:
+            # Return datagrams from the enforced destination (or sink)
+            # flow straight back to the originator, re-addressed as the
+            # original destination.
+            if leg == "dst" and record.phase == FlowPhase.ENFORCED:
+                record.s2c_packets += 1
+                self._deliver_udp_to_client(record, packet.udp.payload)
+            return
+        if packet.proto != PROTO_TCP:
+            return
+        segment = packet.tcp
+        record.s2c_packets += 1
+
+        if leg == "cs":
+            self._server_packet_from_cs(record, segment)
+        else:
+            self._server_packet_from_dst(record, segment)
+
+    def _server_packet_from_cs(self, record: FlowRecord,
+                               segment: TCPSegment) -> None:
+        if segment.rst:
+            # The containment server aborted (or acknowledged our own
+            # teardown); surface as reset to the client if still coupled.
+            if record.phase == FlowPhase.SHIM or (
+                record.decision is not None
+                and record.decision.verdict & Verdict.REWRITE
+            ):
+                self._abort_flow(record, notify_client=True)
+            return
+
+        if segment.syn and segment.has_ack and record.cs_isn is None:
+            record.cs_isn = segment.seq
+            self._forward_to_client(record, segment)
+            return
+
+        if record.phase == FlowPhase.SHIM:
+            if segment.payload:
+                record.shim_buffer.extend(segment.payload)
+                self._try_parse_response_shim(record)
+            elif segment.fin:
+                # Server closed before issuing a verdict: treat as drop.
+                self._apply_decision(record, ContainmentDecision.drop(
+                    policy="cs-closed", annotation="no verdict"))
+            else:
+                self._forward_to_client(record, segment)  # bare ACK
+            return
+
+        # ENFORCED REWRITE: continuous proxying through the server.
+        self._forward_to_client(record, segment)
+        if segment.payload:
+            record.s2c_bytes += len(segment.payload)
+
+    def _server_packet_from_dst(self, record: FlowRecord,
+                                segment: TCPSegment) -> None:
+        if record.phase == FlowPhase.HANDOFF:
+            if segment.rst:
+                self._synthesize_client_rst(record)
+                record.phase = FlowPhase.CLOSED
+                return
+            if segment.syn and segment.has_ack:
+                record.dst_isn = segment.seq
+                self._complete_handoff(record, segment)
+            return
+        if record.phase != FlowPhase.ENFORCED:
+            return
+        if segment.payload:
+            record.s2c_bytes += len(segment.payload)
+        self._forward_to_client(record, segment)
+
+    # ------------------------------------------------------------------
+    # Response shim parsing and verdict application
+    # ------------------------------------------------------------------
+    def _try_parse_response_shim(self, record: FlowRecord) -> None:
+        length = peek_length(bytes(record.shim_buffer[:8])) \
+            if len(record.shim_buffer) >= 8 else None
+        if length is None or len(record.shim_buffer) < length:
+            return
+        blob = bytes(record.shim_buffer[:length])
+        leftover = bytes(record.shim_buffer[length:])
+        record.shim_buffer.clear()
+        try:
+            shim = ResponseShim.from_bytes(blob, proto=record.orig.proto)
+        except ShimError:
+            self._apply_decision(record, ContainmentDecision.drop(
+                policy="shim-error", annotation="malformed response shim"))
+            return
+        record.s2c_rem = length
+        self.counters["shims_stripped"] += 1
+        decision = shim.to_decision(record.orig)
+        self._apply_decision(record, decision, leftover)
+
+    def _apply_decision(self, record: FlowRecord,
+                        decision: ContainmentDecision,
+                        leftover: bytes = b"") -> None:
+        record.decision = decision
+        self.flow_log.append(FlowLogEntry(self.sim.now, record))
+        verdict = decision.verdict
+
+        if verdict & Verdict.REWRITE:
+            # Content control: stay coupled to the containment server.
+            record.phase = FlowPhase.ENFORCED
+            if decision.rate is not None:
+                record.shaper = TokenBucket(decision.rate)
+            if leftover:
+                self._deliver_cs_content(record, leftover)
+            return
+
+        endpoint = verdict.endpoint_op
+        if endpoint == Verdict.DROP:
+            record.phase = FlowPhase.DROPPED
+            self._teardown_cs_leg(record)
+            self._synthesize_client_rst(record)
+            return
+
+        # FORWARD / LIMIT / REDIRECT / REFLECT: resolve destination,
+        # hand the flow off, and take the containment server out of the
+        # path.
+        if endpoint in (Verdict.REDIRECT, Verdict.REFLECT):
+            record.dst_ip = decision.target_ip
+            record.dst_port = (
+                decision.target_port
+                if decision.target_port is not None
+                else record.orig.resp_port
+            )
+            # Reflection preserves the spoofed original destination
+            # address so the sink sees what the specimen dialled.
+            record.spoof_preserve = endpoint == Verdict.REFLECT
+        else:
+            if record.inmate_is_originator:
+                record.dst_ip = record.orig.resp_ip
+                record.dst_port = record.orig.resp_port
+            else:
+                # Inbound flow: the enforced destination is the inmate.
+                record.dst_ip = self.nat.internal_for(record.vlan)
+                record.dst_port = record.orig.resp_port
+        if verdict & Verdict.LIMIT and decision.rate is not None:
+            record.shaper = TokenBucket(decision.rate)
+
+        self._classify_destination(record)
+        self._teardown_cs_leg(record)
+        if record.orig.proto == PROTO_TCP:
+            self._begin_handoff(record)
+        else:
+            record.phase = FlowPhase.ENFORCED
+            self._register_dst_alias(record)
+            while record.udp_pending:
+                self._send_udp_to_dst(record, record.udp_pending.popleft())
+
+    def _classify_destination(self, record: FlowRecord) -> None:
+        """Work out whether the enforced destination is an inmate, a
+        subfarm service, or an external host (and NAT accordingly)."""
+        assert record.dst_ip is not None
+        record.dst_is_inmate_vlan = None
+        vlan = self.bridge.vlan_for_ip(record.dst_ip)
+        if vlan is None:
+            vlan = self.nat.vlan_for_internal(record.dst_ip)
+        if vlan is not None:
+            record.dst_is_inmate_vlan = vlan
+            return
+        if record.dst_ip in self.service_ips:
+            return
+        # External: the inmate-side endpoint needs its global address.
+        if record.inmate_is_originator:
+            record.nat_global = self.nat.global_for(record.vlan)
+
+    # ------------------------------------------------------------------
+    # Handoff to the enforced destination
+    # ------------------------------------------------------------------
+    def _begin_handoff(self, record: FlowRecord) -> None:
+        record.phase = FlowPhase.HANDOFF
+        self.counters["handoffs"] += 1
+        self._register_dst_alias(record)
+        syn = TCPSegment(
+            sport=record.orig.orig_port, dport=record.dst_port,
+            seq=record.client_isn, flags=SYN,
+        )
+        self._send_to_dst(record, syn, raw=True)
+
+    def _complete_handoff(self, record: FlowRecord,
+                          synack: TCPSegment) -> None:
+        record.phase = FlowPhase.ENFORCED
+        ack = TCPSegment(
+            sport=record.orig.orig_port, dport=record.dst_port,
+            seq=seq_add(record.client_isn, 1),
+            ack=seq_add(record.dst_isn, 1),
+            flags=ACK,
+        )
+        self._send_to_dst(record, ack, raw=True)
+        seq = seq_add(record.client_isn, 1)
+        buffered = bytes(record.client_buffer)
+        record.client_buffer.clear()
+        offset = 0
+        while offset < len(buffered):
+            chunk = buffered[offset:offset + 1460]
+            offset += len(chunk)
+            flags = ACK | PSH
+            fin_here = record.client_fin and offset >= len(buffered)
+            if fin_here:
+                flags |= FIN
+                record.client_fin_relayed = True
+            data = TCPSegment(
+                sport=record.orig.orig_port, dport=record.dst_port,
+                seq=seq, ack=seq_add(record.dst_isn, 1),
+                flags=flags, payload=chunk,
+            )
+            seq = seq_add(seq, len(chunk))
+            self._send_to_dst(record, data, raw=True)
+        if record.client_fin and not record.client_fin_relayed:
+            fin = TCPSegment(
+                sport=record.orig.orig_port, dport=record.dst_port,
+                seq=seq, ack=seq_add(record.dst_isn, 1), flags=FIN | ACK,
+            )
+            record.client_fin_relayed = True
+            self._send_to_dst(record, fin, raw=True)
+
+    def _register_dst_alias(self, record: FlowRecord) -> None:
+        """Register the directed tuple of return traffic from the
+        enforced destination."""
+        assert record.dst_ip is not None and record.dst_port is not None
+        if record.spoof_preserve:
+            # The sink answers from the spoofed original destination.
+            alias = FiveTuple(
+                record.orig.resp_ip, record.dst_port,
+                record.orig.orig_ip, record.orig.orig_port, record.orig.proto,
+            )
+            self._index[alias] = record
+            return
+        if record.dst_is_inmate_vlan is not None or record.dst_ip in self.service_ips:
+            local_ip = record.orig.orig_ip
+        else:
+            local_ip = record.nat_global or record.orig.orig_ip
+        alias = FiveTuple(
+            record.dst_ip, record.dst_port,
+            local_ip, record.orig.orig_port, record.orig.proto,
+        )
+        self._index[alias] = record
+
+    # ------------------------------------------------------------------
+    # Emission toward each party
+    # ------------------------------------------------------------------
+    def _forward_to_client(self, record: FlowRecord,
+                           segment: TCPSegment) -> None:
+        """Send a server-leg segment back to the originator, restoring
+        the illusion of the original destination."""
+        out = segment.copy()
+        out.sport = record.orig.resp_port
+        out.dport = record.orig.orig_port
+        if record.cs_isn is not None and record.dst_isn is not None:
+            # Post-handoff: translate the destination ISN space into the
+            # containment server's (which the client handshook against).
+            out.seq = seq_add(out.seq, record.isn_delta)
+        else:
+            out.seq = seq_sub(out.seq, record.s2c_rem)
+        if out.has_ack:
+            out.ack = seq_sub(out.ack, record.c2s_inj)
+        packet = IPv4Packet(record.orig.resp_ip, record.orig.orig_ip, out)
+        self.counters["packets_relayed"] += 1
+        self._emit_to_client(record, packet)
+
+    def _deliver_cs_content(self, record: FlowRecord, payload: bytes) -> None:
+        """Deliver REWRITE content that shared a segment with the
+        response shim."""
+        segment = TCPSegment(
+            sport=record.orig.resp_port, dport=record.orig.orig_port,
+            seq=seq_add(record.cs_isn, 1),
+            ack=self._client_snd_nxt(record),
+            flags=ACK | PSH, payload=payload,
+        )
+        record.s2c_bytes += len(payload)
+        packet = IPv4Packet(record.orig.resp_ip, record.orig.orig_ip, segment)
+        self._emit_to_client(record, packet)
+
+    def _client_snd_nxt(self, record: FlowRecord) -> int:
+        return seq_add(record.client_isn, 1 + record.c2s_bytes
+                       + (1 if record.client_fin else 0))
+
+    def _emit_to_client(self, record: FlowRecord, packet: IPv4Packet) -> None:
+        if record.inmate_is_originator:
+            self._emit_shaped(record, packet,
+                              lambda p: self._emit_to_vlan(record.vlan, p))
+        else:
+            # Inbound flow: the originator lives outside; restore the
+            # inmate's global source address.
+            packet.src = record.orig.resp_ip
+            self._emit_shaped(record, packet, self._emit_upstream)
+
+    def _send_to_dst(self, record: FlowRecord, segment: TCPSegment,
+                     raw: bool = False) -> None:
+        out = segment if raw else segment.copy()
+        if not raw:
+            # Live relay from the client: translate the ack (client acks
+            # in containment-server ISN space, destination expects its
+            # own).
+            if out.has_ack and record.dst_isn is not None:
+                out.ack = seq_sub(out.ack, record.isn_delta)
+            out.dport = record.dst_port
+            out.sport = record.orig.orig_port
+            if out.payload:
+                record.c2s_bytes += 0  # already counted at client relay
+        packet = self._address_dst_packet(record, out)
+        self.counters["packets_relayed"] += 1
+        self._emit_dst(record, packet)
+
+    def _send_udp_to_dst(self, record: FlowRecord,
+                         datagram: UDPDatagram) -> None:
+        out = datagram.copy()
+        out.dport = record.dst_port
+        out.sport = record.orig.orig_port
+        packet = self._address_dst_packet(record, out)
+        self.counters["packets_relayed"] += 1
+        self._emit_dst(record, packet)
+
+    def _address_dst_packet(self, record: FlowRecord, transport) -> IPv4Packet:
+        if record.spoof_preserve:
+            # Physically delivered to the sink, but still addressed to
+            # the original destination.
+            return IPv4Packet(record.orig.orig_ip, record.orig.resp_ip,
+                              transport)
+        if record.dst_is_inmate_vlan is not None or record.dst_ip in self.service_ips:
+            src = record.orig.orig_ip
+        else:
+            src = record.nat_global or record.orig.orig_ip
+        return IPv4Packet(src, record.dst_ip, transport)
+
+    def _emit_dst(self, record: FlowRecord, packet: IPv4Packet) -> None:
+        if record.dst_is_inmate_vlan is not None:
+            self._emit_shaped(
+                record, packet,
+                lambda p, v=record.dst_is_inmate_vlan: self._emit_to_vlan(v, p),
+            )
+        elif record.dst_ip in self.service_ips:
+            self._emit_shaped(record, packet,
+                              lambda p: self._emit_to_service(record.dst_ip, p))
+        else:
+            self._emit_shaped(record, packet, self._emit_upstream)
+
+    def _emit_shaped(self, record: FlowRecord, packet: IPv4Packet,
+                     emit: Callable[[IPv4Packet], None]) -> None:
+        if record.shaper is None:
+            emit(packet)
+            return
+        size = 40 + (len(packet.tcp.payload) if packet.proto == PROTO_TCP
+                     else len(packet.udp.payload))
+        delay = record.shaper.delay_for(self.sim.now, size)
+        if delay <= 0:
+            emit(packet)
+        else:
+            self.sim.schedule(delay, emit, packet, label="limit-shaper")
+
+    # ------------------------------------------------------------------
+    # REWRITE nonce leg (containment server connecting onward)
+    # ------------------------------------------------------------------
+    def _handle_nonce_leg(self, record: FlowRecord, packet: IPv4Packet) -> None:
+        """The containment server opened (or continues) its onward
+        connection from the flow's nonce port.  NAT it so the real
+        target sees the inmate's global address and original port."""
+        segment = packet.tcp
+        if segment.syn and not record.nonce_active:
+            record.nonce_active = True
+            if record.inmate_is_originator and record.nat_global is None:
+                record.nat_global = self.nat.global_for(record.vlan)
+            # Register the return path so replies from the real target
+            # are recognized and relayed back to the nonce port.
+            local = record.nat_global or record.orig.orig_ip
+            alias = FiveTuple(packet.dst, segment.dport,
+                              local, record.orig.orig_port, PROTO_TCP)
+            self._index[alias] = record
+        out = segment.copy()
+        out.sport = record.orig.orig_port
+        src = record.nat_global or record.orig.orig_ip
+        self.counters["packets_relayed"] += 1
+        self._emit_upstream(IPv4Packet(src, packet.dst, out))
+
+    def _is_nonce_return(self, record: FlowRecord,
+                         packet: IPv4Packet) -> bool:
+        if packet.proto != PROTO_TCP:
+            return False
+        expected_dst = record.nat_global or record.orig.orig_ip
+        return (packet.dst == expected_dst
+                and packet.tcp.dport == record.orig.orig_port
+                and record.nonce_active)
+
+    def _relay_nonce_return(self, record: FlowRecord,
+                            packet: IPv4Packet) -> None:
+        out = packet.tcp.copy()
+        out.dport = record.nonce_port
+        self.counters["packets_relayed"] += 1
+        self._emit_to_service(record.cs_ip,
+                              IPv4Packet(packet.src, record.cs_ip, out))
+
+    # ------------------------------------------------------------------
+    # UDP verdicts from the containment server
+    # ------------------------------------------------------------------
+    def _handle_cs_udp(self, record: FlowRecord, packet: IPv4Packet) -> None:
+        payload = packet.udp.payload
+        length = peek_length(payload)
+        if length is None or len(payload) < length:
+            return
+        try:
+            shim = ResponseShim.from_bytes(payload[:length], proto=PROTO_UDP)
+        except ShimError:
+            return
+        leftover = payload[length:]
+        self.counters["shims_stripped"] += 1
+        if record.decision is None:
+            decision = shim.to_decision(record.orig)
+            self._apply_udp_decision(record, decision, leftover)
+        elif leftover and record.decision.verdict & Verdict.REWRITE:
+            self._deliver_udp_to_client(record, leftover)
+
+    def _apply_udp_decision(self, record: FlowRecord,
+                            decision: ContainmentDecision,
+                            leftover: bytes) -> None:
+        record.decision = decision
+        self.flow_log.append(FlowLogEntry(self.sim.now, record))
+        verdict = decision.verdict
+        if verdict & Verdict.REWRITE:
+            record.phase = FlowPhase.ENFORCED
+            record.udp_pending.clear()
+            if leftover:
+                self._deliver_udp_to_client(record, leftover)
+            return
+        endpoint = verdict.endpoint_op
+        if endpoint == Verdict.DROP:
+            record.phase = FlowPhase.DROPPED
+            record.udp_pending.clear()
+            return
+        if endpoint in (Verdict.REDIRECT, Verdict.REFLECT):
+            record.dst_ip = decision.target_ip
+            record.dst_port = (decision.target_port
+                               if decision.target_port is not None
+                               else record.orig.resp_port)
+        else:
+            if record.inmate_is_originator:
+                record.dst_ip = record.orig.resp_ip
+                record.dst_port = record.orig.resp_port
+            else:
+                record.dst_ip = self.nat.internal_for(record.vlan)
+                record.dst_port = record.orig.resp_port
+        if verdict & Verdict.LIMIT and decision.rate is not None:
+            record.shaper = TokenBucket(decision.rate)
+        self._classify_destination(record)
+        record.phase = FlowPhase.ENFORCED
+        self._register_dst_alias(record)
+        while record.udp_pending:
+            self._send_udp_to_dst(record, record.udp_pending.popleft())
+
+    def _deliver_udp_to_client(self, record: FlowRecord, payload: bytes) -> None:
+        datagram = UDPDatagram(record.orig.resp_port, record.orig.orig_port,
+                               payload)
+        record.s2c_bytes += len(payload)
+        packet = IPv4Packet(record.orig.resp_ip, record.orig.orig_ip, datagram)
+        self._emit_to_client(record, packet)
+
+    # ------------------------------------------------------------------
+    # Teardown helpers
+    # ------------------------------------------------------------------
+    def _teardown_cs_leg(self, record: FlowRecord) -> None:
+        """Abort the containment-server leg after an endpoint verdict
+        (the server is out of the path from here on)."""
+        if record.orig.proto != PROTO_TCP or record.cs_isn is None:
+            return
+        rst = TCPSegment(
+            sport=record.mux_port, dport=self.cs_tcp_port,
+            seq=seq_add(record.client_isn, 1 + record.c2s_inj
+                        + len(record.client_buffer) + record.c2s_bytes),
+            ack=seq_add(record.cs_isn, 1 + record.s2c_rem),
+            flags=RST | ACK,
+        )
+        self._emit_to_service(
+            record.cs_ip, IPv4Packet(record.orig.orig_ip, record.cs_ip, rst)
+        )
+
+    def _synthesize_client_rst(self, record: FlowRecord) -> None:
+        if record.orig.proto != PROTO_TCP:
+            return
+        seq = seq_add(record.cs_isn, 1) if record.cs_isn is not None else 0
+        rst = TCPSegment(
+            sport=record.orig.resp_port, dport=record.orig.orig_port,
+            seq=seq, ack=self._client_snd_nxt(record), flags=RST | ACK,
+        )
+        packet = IPv4Packet(record.orig.resp_ip, record.orig.orig_ip, rst)
+        self._emit_to_client(record, packet)
+
+    def _abort_flow(self, record: FlowRecord, notify_client: bool) -> None:
+        if record.phase in (FlowPhase.CLOSED, FlowPhase.DROPPED):
+            return
+        if record.phase in (FlowPhase.SHIM, FlowPhase.ENFORCED,
+                            FlowPhase.HANDOFF):
+            self._teardown_cs_leg(record)
+        if notify_client:
+            self._synthesize_client_rst(record)
+        record.phase = FlowPhase.CLOSED
+
+    # ------------------------------------------------------------------
+    # Service-originated outbound (control-network NAT)
+    # ------------------------------------------------------------------
+    def _service_outbound(self, packet: IPv4Packet) -> None:
+        if self.control_pool is None:
+            return
+        global_ip = self._service_nat.get(packet.src)
+        if global_ip is None:
+            global_ip = self.control_pool.allocate()
+            self._service_nat[packet.src] = global_ip
+            self._service_nat_rev[global_ip] = packet.src
+        packet.src = global_ip
+        self._emit_upstream(packet)
+
+    # ------------------------------------------------------------------
+    # Inmate life-cycle hooks
+    # ------------------------------------------------------------------
+    def _evict(self, record: FlowRecord) -> None:
+        """Drop a record's demux state so its tuples can be reused."""
+        for key in [k for k, r in self._index.items() if r is record]:
+            del self._index[key]
+        self._by_mux.pop(record.mux_port, None)
+        self._by_nonce.pop(record.nonce_port, None)
+        if record.phase not in (FlowPhase.DROPPED, FlowPhase.REFUSED):
+            record.phase = FlowPhase.CLOSED
+
+    def _arm_housekeeping(self) -> None:
+        if self._housekeeping_armed:
+            return
+        self._housekeeping_armed = True
+        self.sim.schedule(self.housekeeping_interval, self._housekeep,
+                          label="flow-housekeeping")
+
+    def _housekeep(self) -> None:
+        self._housekeeping_armed = False
+        self.expire_idle_flows(self.flow_idle_timeout)
+        if self.active_flow_count() > 0:
+            self._arm_housekeeping()
+
+    def expire_idle_flows(self, max_idle: float) -> int:
+        """Evict demux state for flows idle longer than ``max_idle``.
+
+        Long deployments (the paper ran for six years) must not grow
+        the flow table without bound; run this periodically.  Records
+        stay in the history list for reporting — only the packet-path
+        lookup state is released.
+        """
+        expired = 0
+        horizon = self.sim.now - max_idle
+        for record in self._flows:
+            if record.phase in (FlowPhase.SHIM, FlowPhase.HANDOFF,
+                                FlowPhase.ENFORCED) \
+                    and record.last_activity <= horizon:
+                self._evict(record)
+                expired += 1
+        return expired
+
+    def forget_inmate(self, vlan: int) -> None:
+        """Clear state when an inmate is reverted or terminated."""
+        self.safety.reset_inmate(vlan)
+        self.bridge.forget(vlan)
+        for record in self._flows:
+            if record.vlan == vlan and record.phase in (
+                FlowPhase.SHIM, FlowPhase.HANDOFF, FlowPhase.ENFORCED
+            ):
+                self._evict(record)
+
+    def __repr__(self) -> str:
+        return f"<SubfarmRouter {self.name} vlans={len(self.vlan_ids)}>"

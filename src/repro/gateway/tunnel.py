@@ -1,0 +1,53 @@
+"""The farm side of a GRE tunnel (§7.2 address-space extension).
+
+A colleague's network advertises an extra /24 and runs a small PoP
+that forwards everything addressed into it through a GRE tunnel to
+the farm; the farm hands those addresses to inmates like any other
+global space.  Egress for tunneled sources is encapsulated back to
+the PoP so the donated prefix's traffic stays path-symmetric.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.net.addresses import IPv4Address, IPv4Network
+from repro.net.gre import PROTO_GRE, decapsulate, encapsulate
+from repro.net.packet import IPv4Packet
+
+
+class GreTunnelEndpoint:
+    """Gateway-resident tunnel endpoint."""
+
+    def __init__(self, local_ip: IPv4Address, remote_ip: IPv4Address,
+                 networks: List[IPv4Network]) -> None:
+        self.local_ip = IPv4Address(local_ip)
+        self.remote_ip = IPv4Address(remote_ip)
+        self.networks = list(networks)
+        self.packets_decapsulated = 0
+        self.packets_encapsulated = 0
+        self.decap_errors = 0
+
+    def carries(self, address: IPv4Address) -> bool:
+        return any(network.contains(address) for network in self.networks)
+
+    def try_decapsulate(self, packet: IPv4Packet) -> Optional[IPv4Packet]:
+        """If this is tunnel traffic for us, return the inner packet."""
+        if packet.proto != PROTO_GRE or packet.dst != self.local_ip:
+            return None
+        inner = decapsulate(packet)
+        if inner is None:
+            self.decap_errors += 1
+            return None
+        self.packets_decapsulated += 1
+        return inner
+
+    def encapsulate(self, inner: IPv4Packet) -> IPv4Packet:
+        self.packets_encapsulated += 1
+        return encapsulate(inner, self.local_ip, self.remote_ip)
+
+    def __repr__(self) -> str:
+        return (
+            f"<GreTunnelEndpoint {self.local_ip}<->{self.remote_ip} "
+            f"nets={[str(n) for n in self.networks]}>"
+        )

@@ -1,0 +1,33 @@
+"""Inmate hosting and life-cycle control (§5.5, §6.3, §6.4).
+
+Inmates are the infected (or to-be-infected) machines of the farm.
+Each occupies a unique VLAN ID — the identity everything else keys on
+— and runs on one of three hosting backends: full-system
+virtualization, emulation, or raw iron.  The inmate controller on the
+gateway executes life-cycle actions (create / start / stop / revert /
+terminate) sent by containment servers over the management network,
+abstracting the hosting details behind the VLAN ID.
+"""
+
+from repro.inmates.controller import InmateController, LifecycleMessenger
+from repro.inmates.hosting import (
+    EmulatedBackend,
+    HostingBackend,
+    Inmate,
+    InmateState,
+    RawIronBackend,
+    VirtualizedBackend,
+)
+from repro.inmates.vlan_pool import VlanPool
+
+__all__ = [
+    "Inmate",
+    "InmateState",
+    "InmateController",
+    "LifecycleMessenger",
+    "HostingBackend",
+    "VirtualizedBackend",
+    "EmulatedBackend",
+    "RawIronBackend",
+    "VlanPool",
+]

@@ -1,0 +1,119 @@
+"""The inmate controller (§5.5, §6.3).
+
+"We structure the inmate controller as a simple message receiver that
+interprets the life-cycle control instructions coming in from the
+containment servers.  We use a simple text-based message format."
+
+The controller lives centrally on the gateway, holds the inventory of
+inmates keyed by VLAN ID, and abstracts the hosting backends.
+Containment servers reach it out-of-band via a dedicated interface on
+the management network — :class:`LifecycleMessenger` is that client
+side, speaking the text protocol over UDP.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.inmates.hosting import Inmate
+from repro.net.addresses import IPv4Address
+from repro.net.host import Host
+from repro.net.packet import IPv4Packet, UDPDatagram
+from repro.sim.engine import Simulator
+
+CONTROLLER_PORT = 9048
+
+ACTIONS = ("start", "stop", "reboot", "revert", "terminate")
+
+
+class InmateController:
+    """VLAN-keyed life-cycle executor on the gateway."""
+
+    def __init__(self, sim: Simulator,
+                 on_action: Optional[Callable[[str, int], None]] = None) -> None:
+        self.sim = sim
+        self._inmates: Dict[int, Inmate] = {}
+        self.actions_executed: List[Tuple[float, str, int]] = []
+        self.unknown_targets = 0
+        self.malformed_messages = 0
+        # Hook for the subfarm router to clear per-inmate state
+        # (safety-filter history, bridge entries, open flows).
+        self.on_action = on_action
+
+    # ------------------------------------------------------------------
+    # Inventory
+    # ------------------------------------------------------------------
+    def register(self, inmate: Inmate) -> None:
+        if inmate.vlan in self._inmates:
+            raise ValueError(f"VLAN {inmate.vlan} already has an inmate")
+        self._inmates[inmate.vlan] = inmate
+
+    def unregister(self, vlan: int) -> None:
+        self._inmates.pop(vlan, None)
+
+    def inmate(self, vlan: int) -> Optional[Inmate]:
+        return self._inmates.get(vlan)
+
+    def inventory(self) -> Dict[int, Inmate]:
+        return dict(self._inmates)
+
+    # ------------------------------------------------------------------
+    # Action execution ("the controller requires only the inmate's
+    # VLAN ID in order to identify the target of a life-cycle action")
+    # ------------------------------------------------------------------
+    def execute(self, action: str, vlan: int) -> bool:
+        if action not in ACTIONS:
+            self.malformed_messages += 1
+            return False
+        inmate = self._inmates.get(vlan)
+        if inmate is None:
+            self.unknown_targets += 1
+            return False
+        self.actions_executed.append((self.sim.now, action, vlan))
+        getattr(inmate, action)()
+        if self.on_action is not None:
+            self.on_action(action, vlan)
+        return True
+
+    # ------------------------------------------------------------------
+    # Text protocol (management network)
+    # ------------------------------------------------------------------
+    def parse_and_execute(self, message: bytes) -> bool:
+        """Handle one text message, e.g. ``b"revert 18"``."""
+        try:
+            text = message.decode("ascii").strip()
+            action, vlan_text = text.split(" ", 1)
+            vlan = int(vlan_text)
+        except (UnicodeDecodeError, ValueError):
+            self.malformed_messages += 1
+            return False
+        return self.execute(action, vlan)
+
+    def bind(self, host: Host, port: int = CONTROLLER_PORT) -> None:
+        """Listen for life-cycle messages on a management-network host."""
+        def handler(_host: Host, _packet: IPv4Packet,
+                    datagram: UDPDatagram) -> None:
+            self.parse_and_execute(datagram.payload)
+
+        host.udp.bind(port, handler)
+
+
+class LifecycleMessenger:
+    """Containment-server side of the life-cycle text protocol.
+
+    Sends actions over the containment server's *additional* interface
+    on the management network — out-of-band of all inmate traffic.
+    """
+
+    def __init__(self, mgmt_host: Host, controller_ip: IPv4Address,
+                 controller_port: int = CONTROLLER_PORT) -> None:
+        self.mgmt_host = mgmt_host
+        self.controller_ip = IPv4Address(controller_ip)
+        self.controller_port = controller_port
+        self.messages_sent = 0
+
+    def __call__(self, action: str, vlan: int) -> None:
+        message = f"{action} {vlan}".encode("ascii")
+        self.messages_sent += 1
+        self.mgmt_host.udp.sendto(message, self.controller_ip,
+                                  self.controller_port)

@@ -1,0 +1,80 @@
+"""Minimal ARP (RFC 826) for IPv4-over-Ethernet.
+
+Inmates must behave like real machines on boot — the paper's NAT
+assignment is "triggered by the inmates' boot-time chatter" — so hosts
+genuinely broadcast ARP requests and the gateway proxy-ARPs for
+everything off-link.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.net.addresses import IPv4Address, MacAddress
+
+ETHERTYPE_ARP = 0x0806
+
+OP_REQUEST = 1
+OP_REPLY = 2
+
+
+class ArpMessage:
+    """An ARP request or reply for IPv4 over Ethernet."""
+
+    __slots__ = ("op", "sender_mac", "sender_ip", "target_mac", "target_ip")
+
+    def __init__(
+        self,
+        op: int,
+        sender_mac: MacAddress,
+        sender_ip: IPv4Address,
+        target_mac: Optional[MacAddress],
+        target_ip: IPv4Address,
+    ) -> None:
+        self.op = op
+        self.sender_mac = sender_mac
+        self.sender_ip = sender_ip
+        self.target_mac = target_mac or MacAddress(0)
+        self.target_ip = target_ip
+
+    @classmethod
+    def request(cls, sender_mac: MacAddress, sender_ip: IPv4Address,
+                target_ip: IPv4Address) -> "ArpMessage":
+        return cls(OP_REQUEST, sender_mac, sender_ip, None, target_ip)
+
+    @classmethod
+    def reply(cls, sender_mac: MacAddress, sender_ip: IPv4Address,
+              target_mac: MacAddress, target_ip: IPv4Address) -> "ArpMessage":
+        return cls(OP_REPLY, sender_mac, sender_ip, target_mac, target_ip)
+
+    def to_bytes(self) -> bytes:
+        return (
+            struct.pack("!HHBBH", 1, 0x0800, 6, 4, self.op)
+            + self.sender_mac.to_bytes()
+            + self.sender_ip.to_bytes()
+            + self.target_mac.to_bytes()
+            + self.target_ip.to_bytes()
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ArpMessage":
+        if len(data) < 28:
+            raise ValueError("truncated ARP message")
+        htype, ptype, hlen, plen, op = struct.unpack("!HHBBH", data[:8])
+        if (htype, ptype, hlen, plen) != (1, 0x0800, 6, 4):
+            raise ValueError("unsupported ARP hardware/protocol combination")
+        return cls(
+            op,
+            MacAddress.from_bytes(data[8:14]),
+            IPv4Address.from_bytes(data[14:18]),
+            MacAddress.from_bytes(data[18:24]),
+            IPv4Address.from_bytes(data[24:28]),
+        )
+
+    def __repr__(self) -> str:
+        kind = "who-has" if self.op == OP_REQUEST else "is-at"
+        return (
+            f"<ARP {kind} {self.target_ip} tell "
+            f"{self.sender_ip} ({self.sender_mac})>"
+        )

@@ -1,0 +1,226 @@
+"""DNS over UDP: message format plus stub resolver and server helpers.
+
+The inmate network offers a recursive resolver as an infrastructure
+service (§5.3); botnet models use it to look up C&C hostnames, and
+domain-generation-algorithm behaviour is exercised through it.
+
+Only the slice of RFC 1035 the farm needs is implemented: A and MX
+queries, compressed-name-free encoding, single-question messages.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.addresses import IPv4Address
+
+QTYPE_A = 1
+QTYPE_MX = 15
+
+RCODE_OK = 0
+RCODE_NXDOMAIN = 3
+
+
+def encode_name(name: str) -> bytes:
+    """Encode a dotted name as DNS labels (no compression)."""
+    out = bytearray()
+    for label in name.rstrip(".").split("."):
+        raw = label.encode("ascii")
+        if not 0 < len(raw) < 64:
+            raise ValueError(f"bad DNS label in {name!r}")
+        out.append(len(raw))
+        out.extend(raw)
+    out.append(0)
+    return bytes(out)
+
+
+def decode_name(data: bytes, offset: int) -> Tuple[str, int]:
+    """Decode labels at ``offset``; returns (name, next offset)."""
+    labels = []
+    while True:
+        if offset >= len(data):
+            raise ValueError("truncated DNS name")
+        length = data[offset]
+        offset += 1
+        if length == 0:
+            break
+        if length >= 64:
+            raise ValueError("DNS name compression not supported")
+        labels.append(data[offset:offset + length].decode("ascii"))
+        offset += length
+    return ".".join(labels), offset
+
+
+class DnsQuestion:
+    """The single question of a query: name plus record type."""
+
+    __slots__ = ("name", "qtype")
+
+    def __init__(self, name: str, qtype: int = QTYPE_A) -> None:
+        self.name = name.lower().rstrip(".")
+        self.qtype = qtype
+
+    def to_bytes(self) -> bytes:
+        return encode_name(self.name) + struct.pack("!HH", self.qtype, 1)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, offset: int) -> Tuple["DnsQuestion", int]:
+        name, offset = decode_name(data, offset)
+        qtype, _qclass = struct.unpack("!HH", data[offset:offset + 4])
+        return cls(name, qtype), offset + 4
+
+
+class DnsRecord:
+    """A resource record: A (address) or MX (priority, exchange)."""
+
+    __slots__ = ("name", "rtype", "ttl", "address", "priority", "exchange")
+
+    def __init__(
+        self,
+        name: str,
+        rtype: int,
+        ttl: int = 300,
+        address: Optional[IPv4Address] = None,
+        priority: int = 10,
+        exchange: str = "",
+    ) -> None:
+        self.name = name.lower().rstrip(".")
+        self.rtype = rtype
+        self.ttl = ttl
+        self.address = address
+        self.priority = priority
+        self.exchange = exchange
+
+    @classmethod
+    def a(cls, name: str, address: IPv4Address, ttl: int = 300) -> "DnsRecord":
+        return cls(name, QTYPE_A, ttl, address=IPv4Address(address))
+
+    @classmethod
+    def mx(cls, name: str, exchange: str, priority: int = 10,
+           ttl: int = 300) -> "DnsRecord":
+        return cls(name, QTYPE_MX, ttl, priority=priority, exchange=exchange)
+
+    def to_bytes(self) -> bytes:
+        head = encode_name(self.name) + struct.pack("!HHI", self.rtype, 1, self.ttl)
+        if self.rtype == QTYPE_A:
+            rdata = self.address.to_bytes()  # type: ignore[union-attr]
+        elif self.rtype == QTYPE_MX:
+            rdata = struct.pack("!H", self.priority) + encode_name(self.exchange)
+        else:
+            raise ValueError(f"unsupported record type {self.rtype}")
+        return head + struct.pack("!H", len(rdata)) + rdata
+
+    @classmethod
+    def from_bytes(cls, data: bytes, offset: int) -> Tuple["DnsRecord", int]:
+        name, offset = decode_name(data, offset)
+        rtype, _rclass, ttl, rdlen = struct.unpack("!HHIH", data[offset:offset + 10])
+        offset += 10
+        rdata = data[offset:offset + rdlen]
+        offset += rdlen
+        if rtype == QTYPE_A:
+            return cls.a(name, IPv4Address.from_bytes(rdata), ttl), offset
+        if rtype == QTYPE_MX:
+            (priority,) = struct.unpack("!H", rdata[:2])
+            exchange, _ = decode_name(rdata, 2)
+            return cls.mx(name, exchange, priority, ttl), offset
+        raise ValueError(f"unsupported record type {rtype}")
+
+
+class DnsMessage:
+    """A single-question DNS message."""
+
+    def __init__(
+        self,
+        txid: int,
+        question: DnsQuestion,
+        answers: Optional[List[DnsRecord]] = None,
+        is_response: bool = False,
+        rcode: int = RCODE_OK,
+        recursion_desired: bool = True,
+    ) -> None:
+        self.txid = txid
+        self.question = question
+        self.answers = answers or []
+        self.is_response = is_response
+        self.rcode = rcode
+        self.recursion_desired = recursion_desired
+
+    @classmethod
+    def query(cls, txid: int, name: str, qtype: int = QTYPE_A) -> "DnsMessage":
+        return cls(txid, DnsQuestion(name, qtype))
+
+    def reply(self, answers: List[DnsRecord], rcode: int = RCODE_OK) -> "DnsMessage":
+        return DnsMessage(self.txid, self.question, answers,
+                          is_response=True, rcode=rcode)
+
+    def to_bytes(self) -> bytes:
+        flags = 0
+        if self.is_response:
+            flags |= 0x8000 | 0x0080  # QR, RA
+        if self.recursion_desired:
+            flags |= 0x0100
+        flags |= self.rcode & 0xF
+        header = struct.pack(
+            "!HHHHHH", self.txid, flags, 1, len(self.answers), 0, 0
+        )
+        body = self.question.to_bytes()
+        for record in self.answers:
+            body += record.to_bytes()
+        return header + body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DnsMessage":
+        if len(data) < 12:
+            raise ValueError("truncated DNS header")
+        txid, flags, qdcount, ancount, _ns, _ar = struct.unpack("!HHHHHH", data[:12])
+        if qdcount != 1:
+            raise ValueError("only single-question messages supported")
+        question, offset = DnsQuestion.from_bytes(data, 12)
+        answers = []
+        for _ in range(ancount):
+            record, offset = DnsRecord.from_bytes(data, offset)
+            answers.append(record)
+        return cls(
+            txid, question, answers,
+            is_response=bool(flags & 0x8000),
+            rcode=flags & 0xF,
+            recursion_desired=bool(flags & 0x0100),
+        )
+
+    def __repr__(self) -> str:
+        kind = "response" if self.is_response else "query"
+        return f"<DNS {kind} txid={self.txid} {self.question.name!r} answers={len(self.answers)}>"
+
+
+class StubResolverClient:
+    """Async stub resolver for hosts: one in-flight query per call."""
+
+    def __init__(self, host, resolver_ip: IPv4Address, port: int = 53) -> None:
+        self.host = host
+        self.resolver_ip = IPv4Address(resolver_ip)
+        self.port = port
+        self._next_txid = 1
+        self._pending: Dict[Tuple[int, int], object] = {}
+
+    def resolve(self, name: str, callback, qtype: int = QTYPE_A) -> None:
+        """Look up ``name``; ``callback(records)`` gets [] on NXDOMAIN."""
+        txid = self._next_txid
+        self._next_txid = (self._next_txid + 1) & 0xFFFF
+        query = DnsMessage.query(txid, name, qtype)
+        src_port = self.host.udp.allocate_port()
+
+        def on_reply(host, packet, datagram):
+            host.udp.unbind(src_port)
+            try:
+                message = DnsMessage.from_bytes(datagram.payload)
+            except ValueError:
+                callback([])
+                return
+            if message.txid != txid or not message.is_response:
+                callback([])
+                return
+            callback(message.answers if message.rcode == RCODE_OK else [])
+
+        self.host.udp.bind(src_port, on_reply)
+        self.host.udp.sendto(query.to_bytes(), self.resolver_ip, self.port, src_port)

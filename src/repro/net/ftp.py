@@ -1,0 +1,209 @@
+"""FTP control-channel primitives.
+
+Exists for one reason: the paper's §7.1 "Unexpected visitors" episode.
+An upstream botmaster pushed SOCKS-framed jobs through Storm proxy
+bots, instructing them to log into FTP servers with known credentials,
+download an HTML page, and re-upload it with a malicious iframe
+injected.  GQ's reflect-everything-but-C&C policy caught the FTP
+connection attempts at the sink.
+
+The model here is a small command/reply engine rich enough for that
+scenario: USER/PASS login, RETR, STOR, QUIT over a single connection
+(in-band data transfer — a simplification that keeps the containment
+story identical without a second data channel).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+CRLF = b"\r\n"
+
+
+class FtpServerEngine:
+    """A minimal FTP server with an in-memory filesystem."""
+
+    def __init__(
+        self,
+        send: Callable[[bytes], None],
+        accounts: Optional[Dict[str, str]] = None,
+        files: Optional[Dict[str, bytes]] = None,
+        banner: str = "FTP server ready",
+    ) -> None:
+        self._send = send
+        self.accounts = dict(accounts or {})
+        # Kept by reference: all sessions of one site share the same
+        # filesystem, so uploads are visible site-wide.
+        self.files: Dict[str, bytes] = files if files is not None else {}
+        self._buffer = bytearray()
+        self._user: Optional[str] = None
+        self.authenticated = False
+        self._storing: Optional[str] = None
+        self._store_buffer = bytearray()
+        self.uploads: List[Tuple[str, bytes]] = []
+        self.downloads: List[str] = []
+        self.login_failures = 0
+        self._reply(220, banner)
+
+    def _reply(self, code: int, text: str) -> None:
+        self._send(f"{code} {text}".encode("latin-1") + CRLF)
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+        while True:
+            if self._storing is not None:
+                end = self._buffer.find(b"\r\n.\r\n")
+                if end < 0:
+                    return
+                content = bytes(self._buffer[:end])
+                del self._buffer[:end + 5]
+                self.files[self._storing] = content
+                self.uploads.append((self._storing, content))
+                self._storing = None
+                self._reply(226, "transfer complete")
+                continue
+            index = self._buffer.find(CRLF)
+            if index < 0:
+                return
+            line = bytes(self._buffer[:index]).decode("latin-1")
+            del self._buffer[:index + 2]
+            self._command(line)
+
+    def _command(self, line: str) -> None:
+        verb, _, argument = line.partition(" ")
+        verb = verb.upper()
+        if verb == "USER":
+            self._user = argument.strip()
+            self._reply(331, "password required")
+        elif verb == "PASS":
+            if self._user is not None and self.accounts.get(self._user) == argument.strip():
+                self.authenticated = True
+                self._reply(230, "login successful")
+            else:
+                self.login_failures += 1
+                self._reply(530, "login incorrect")
+        elif verb == "RETR":
+            if not self.authenticated:
+                self._reply(530, "not logged in")
+            elif argument.strip() in self.files:
+                name = argument.strip()
+                self.downloads.append(name)
+                self._reply(150, "opening data connection")
+                self._send(self.files[name] + b"\r\n.\r\n")
+                self._reply(226, "transfer complete")
+            else:
+                self._reply(550, "file not found")
+        elif verb == "STOR":
+            if not self.authenticated:
+                self._reply(530, "not logged in")
+            else:
+                self._storing = argument.strip()
+                self._store_buffer.clear()
+                self._reply(150, "ok to send data")
+        elif verb == "QUIT":
+            self._reply(221, "goodbye")
+        else:
+            self._reply(502, f"command {verb!r} not implemented")
+
+
+class FtpClientEngine:
+    """Scripted FTP client: login, fetch a file, transform, re-upload.
+
+    The exact behaviour of the Storm iframe-injection job: the
+    ``transform`` callable receives the downloaded bytes and returns
+    the bytes to upload (e.g. with an iframe inserted).
+    """
+
+    def __init__(
+        self,
+        send: Callable[[bytes], None],
+        username: str,
+        password: str,
+        filename: str,
+        transform: Callable[[bytes], bytes],
+        on_done: Optional[Callable[["FtpClientEngine"], None]] = None,
+    ) -> None:
+        self._send = send
+        self.username = username
+        self.password = password
+        self.filename = filename
+        self.transform = transform
+        self.on_done = on_done
+
+        self._buffer = bytearray()
+        self._phase = "banner"
+        self._downloading = False
+        self._download = bytearray()
+        self.downloaded: Optional[bytes] = None
+        self.uploaded = False
+        self.failed = False
+
+    def _line(self, text: str) -> None:
+        self._send(text.encode("latin-1") + CRLF)
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+        while True:
+            if self._downloading:
+                end = self._buffer.find(b"\r\n.\r\n")
+                if end < 0:
+                    return
+                self.downloaded = bytes(self._buffer[:end])
+                del self._buffer[:end + 5]
+                self._downloading = False
+                continue
+            index = self._buffer.find(CRLF)
+            if index < 0:
+                return
+            line = bytes(self._buffer[:index]).decode("latin-1")
+            del self._buffer[:index + 2]
+            self._reply(line)
+            if self.failed:
+                return
+
+    def _reply(self, line: str) -> None:
+        code = int(line[:3]) if line[:3].isdigit() else 0
+        if self._phase == "banner":
+            self._line(f"USER {self.username}")
+            self._phase = "user"
+        elif self._phase == "user":
+            if code != 331:
+                self._fail()
+                return
+            self._line(f"PASS {self.password}")
+            self._phase = "pass"
+        elif self._phase == "pass":
+            if code != 230:
+                self._fail()
+                return
+            self._line(f"RETR {self.filename}")
+            self._phase = "retr"
+        elif self._phase == "retr":
+            if code == 150:
+                self._downloading = True  # data follows in-band
+                return
+            if code != 226 or self.downloaded is None:
+                self._fail()
+                return
+            self._line(f"STOR {self.filename}")
+            self._phase = "stor"
+        elif self._phase == "stor":
+            if code == 150:
+                payload = self.transform(self.downloaded or b"")
+                self._send(payload + b"\r\n.\r\n")
+                return
+            if code == 226:
+                self.uploaded = True
+                self._line("QUIT")
+                self._phase = "quit"
+                if self.on_done:
+                    self.on_done(self)
+            else:
+                self._fail()
+        elif self._phase == "quit":
+            pass
+
+    def _fail(self) -> None:
+        self.failed = True
+        if self.on_done:
+            self.on_done(self)

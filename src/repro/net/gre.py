@@ -1,0 +1,48 @@
+"""GRE encapsulation (RFC 2784, the IPv4-over-IPv4 slice).
+
+§7.2: "Should this change, we may opt to use GRE tunnels in order to
+connect additional routable address space available in other networks
+(provided by colleagues or interested third parties) to the system."
+
+This module provides the wire format; the endpoints live in
+:mod:`repro.gateway.tunnel` (farm side) and
+:mod:`repro.world.gre_pop` (the colleague's side).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.net.addresses import IPv4Address
+from repro.net.packet import IPv4Packet
+
+PROTO_GRE = 47
+GRE_PROTO_IPV4 = 0x0800
+
+_HEADER = struct.Struct("!HH")  # flags/version, protocol type
+
+
+def encapsulate(inner: IPv4Packet, outer_src: IPv4Address,
+                outer_dst: IPv4Address) -> IPv4Packet:
+    """Wrap ``inner`` in a GRE-over-IPv4 packet."""
+    payload = _HEADER.pack(0, GRE_PROTO_IPV4) + inner.to_bytes()
+    return IPv4Packet(outer_src, outer_dst, payload, proto=PROTO_GRE)
+
+
+def decapsulate(outer: IPv4Packet) -> Optional[IPv4Packet]:
+    """Unwrap a GRE packet; None if it is not IPv4-in-GRE."""
+    if outer.proto != PROTO_GRE:
+        return None
+    raw = bytes(outer.payload)
+    if len(raw) < _HEADER.size:
+        return None
+    flags_version, proto_type = _HEADER.unpack(raw[:_HEADER.size])
+    if proto_type != GRE_PROTO_IPV4:
+        return None
+    if flags_version & 0x8000:
+        return None  # checksummed GRE not used here
+    try:
+        return IPv4Packet.from_bytes(raw[_HEADER.size:])
+    except ValueError:
+        return None

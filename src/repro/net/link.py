@@ -1,0 +1,202 @@
+"""Links, ports, and VLAN-aware switches.
+
+Topology model: devices expose ``receive_frame(frame, port)``; a
+:class:`Link` joins two device ports and delivers frames after a fixed
+latency on the virtual clock.  :class:`Switch` is an 802.1Q learning
+switch with per-port access/trunk modes — the physical switches behind
+GQ's gateway that enforce per-inmate VLAN assignment (§5.2).
+
+The switch intentionally enforces strict VLAN isolation: frames never
+cross VLANs here.  Controlled crosstalk between inmate VLANs is the
+*gateway's* job (the learning VLAN bridge, §5.1), subject to policy.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.addresses import MacAddress
+from repro.net.packet import EthernetFrame
+from repro.sim.engine import Simulator
+
+FrameHandler = Callable[[EthernetFrame, "Port"], None]
+
+
+class Port:
+    """One end of a link, owned by a device."""
+
+    def __init__(self, owner: object, name: str = "") -> None:
+        self.owner = owner
+        self.name = name
+        self.link: Optional["Link"] = None
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    @property
+    def connected(self) -> bool:
+        return self.link is not None
+
+    def send(self, frame: EthernetFrame) -> None:
+        """Transmit a frame out this port (no-op when unplugged)."""
+        if self.link is None:
+            return
+        self.frames_sent += 1
+        self.link.transmit(self, frame)
+
+    def deliver(self, frame: EthernetFrame) -> None:
+        self.frames_received += 1
+        receive = getattr(self.owner, "receive_frame")
+        receive(frame, self)
+
+    def __repr__(self) -> str:
+        return f"<Port {self.name or id(self)} of {self.owner!r}>"
+
+
+class Link:
+    """A reliable point-to-point link with fixed one-way latency."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port_a: Port,
+        port_b: Port,
+        latency: float = 0.0005,
+    ) -> None:
+        if port_a.link is not None or port_b.link is not None:
+            raise RuntimeError("port already linked")
+        self.sim = sim
+        self.port_a = port_a
+        self.port_b = port_b
+        self.latency = latency
+        self.frames_carried = 0
+        port_a.link = self
+        port_b.link = self
+
+    def transmit(self, from_port: Port, frame: EthernetFrame) -> None:
+        peer = self.port_b if from_port is self.port_a else self.port_a
+        self.frames_carried += 1
+        self.sim.schedule(self.latency, peer.deliver, frame, label="link-deliver")
+
+    def disconnect(self) -> None:
+        self.port_a.link = None
+        self.port_b.link = None
+
+
+def connect(
+    sim: Simulator, device_a: object, device_b: object, latency: float = 0.0005
+) -> Tuple[Port, Port]:
+    """Convenience: attach two devices that expose ``attach_port()``."""
+    port_a = device_a.attach_port()  # type: ignore[attr-defined]
+    port_b = device_b.attach_port()  # type: ignore[attr-defined]
+    Link(sim, port_a, port_b, latency)
+    return port_a, port_b
+
+
+class PortMode(enum.Enum):
+    """802.1Q port roles: untagged access or tagged trunk."""
+
+    ACCESS = "access"  # untagged; fixed VLAN
+    TRUNK = "trunk"    # tagged; carries a set of VLANs (or all)
+
+
+class SwitchPortConfig:
+    """Per-port VLAN configuration."""
+
+    def __init__(
+        self,
+        mode: PortMode = PortMode.ACCESS,
+        access_vlan: int = 1,
+        trunk_vlans: Optional[frozenset] = None,
+    ) -> None:
+        self.mode = mode
+        self.access_vlan = access_vlan
+        self.trunk_vlans = trunk_vlans  # None => all VLANs allowed
+
+    def carries(self, vlan: int) -> bool:
+        if self.mode is PortMode.ACCESS:
+            return vlan == self.access_vlan
+        return self.trunk_vlans is None or vlan in self.trunk_vlans
+
+
+class Switch:
+    """An 802.1Q learning switch.
+
+    Frames arriving on access ports are classified into the port's
+    VLAN; frames leaving access ports are untagged.  Trunk ports carry
+    tagged frames for their allowed VLAN set.  MAC learning is keyed on
+    (vlan, mac) so identical MACs on different VLANs never collide —
+    inmates are routinely cloned from the same image and share MACs.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "switch") -> None:
+        self.sim = sim
+        self.name = name
+        self.ports: List[Port] = []
+        self.configs: Dict[Port, SwitchPortConfig] = {}
+        self._mac_table: Dict[Tuple[int, MacAddress], Port] = {}
+        self.frames_switched = 0
+        self.frames_flooded = 0
+        self.frames_filtered = 0
+
+    def attach_port(
+        self,
+        mode: PortMode = PortMode.ACCESS,
+        access_vlan: int = 1,
+        trunk_vlans: Optional[frozenset] = None,
+    ) -> Port:
+        port = Port(self, name=f"{self.name}.p{len(self.ports)}")
+        self.ports.append(port)
+        self.configs[port] = SwitchPortConfig(mode, access_vlan, trunk_vlans)
+        return port
+
+    def configure_port(self, port: Port, config: SwitchPortConfig) -> None:
+        if port not in self.configs:
+            raise KeyError("port does not belong to this switch")
+        self.configs[port] = config
+
+    def receive_frame(self, frame: EthernetFrame, port: Port) -> None:
+        config = self.configs[port]
+        if config.mode is PortMode.ACCESS:
+            vlan = config.access_vlan
+        else:
+            if frame.vlan is None:
+                self.frames_filtered += 1
+                return  # untagged frames on trunks are dropped
+            vlan = frame.vlan
+            if not config.carries(vlan):
+                self.frames_filtered += 1
+                return
+
+        self._mac_table[(vlan, frame.src)] = port
+
+        if not frame.dst.is_broadcast:
+            out = self._mac_table.get((vlan, frame.dst))
+            if out is not None and out is not port:
+                self._emit(frame, out, vlan)
+                self.frames_switched += 1
+                return
+            if out is port:
+                return  # hairpin; drop
+        # Flood within the VLAN.
+        self.frames_flooded += 1
+        for candidate in self.ports:
+            if candidate is port:
+                continue
+            if self.configs[candidate].carries(vlan):
+                self._emit(frame, candidate, vlan)
+
+    def _emit(self, frame: EthernetFrame, port: Port, vlan: int) -> None:
+        config = self.configs[port]
+        out = frame.copy()
+        if config.mode is PortMode.ACCESS:
+            out.retag(None)
+        else:
+            out.retag(vlan)
+        port.send(out)
+
+    def mac_table_snapshot(self) -> Dict[Tuple[int, MacAddress], Port]:
+        return dict(self._mac_table)
+
+    def __repr__(self) -> str:
+        return f"<Switch {self.name} ports={len(self.ports)}>"

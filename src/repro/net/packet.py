@@ -1,0 +1,354 @@
+"""Packet formats: Ethernet (with 802.1Q), IPv4, TCP, UDP.
+
+Packets are plain mutable objects that the simulator passes by
+reference; every layer also serializes to and from real wire bytes
+(including IPv4 header checksums and TCP/UDP pseudo-header checksums)
+so that wire formats — in particular the shim protocol the gateway
+injects into TCP streams — are bit-accurate and testable.
+
+The gateway mutates packets in flight (NAT rewriting, VLAN retagging,
+sequence-number bumping), so :meth:`copy` is provided on each layer and
+frames are deep-copied at capture points to keep traces immutable.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Union
+
+from repro.net.addresses import IPv4Address, MacAddress
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_VLAN = 0x8100
+
+# TCP flag bits
+FIN = 0x01
+SYN = 0x02
+RST = 0x04
+PSH = 0x08
+ACK = 0x10
+
+
+def _ones_complement_sum(data: bytes) -> int:
+    """16-bit one's-complement sum used by IPv4/TCP/UDP checksums."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 Internet checksum of ``data``."""
+    return (~_ones_complement_sum(data)) & 0xFFFF
+
+
+class TCPSegment:
+    """A TCP segment with a byte-accurate sequence space."""
+
+    __slots__ = ("sport", "dport", "seq", "ack", "flags", "window", "payload")
+
+    def __init__(
+        self,
+        sport: int,
+        dport: int,
+        seq: int = 0,
+        ack: int = 0,
+        flags: int = 0,
+        window: int = 65535,
+        payload: bytes = b"",
+    ) -> None:
+        self.sport = sport
+        self.dport = dport
+        self.seq = seq & 0xFFFFFFFF
+        self.ack = ack & 0xFFFFFFFF
+        self.flags = flags
+        self.window = window
+        self.payload = payload
+
+    # Flag helpers -----------------------------------------------------
+    @property
+    def syn(self) -> bool:
+        return bool(self.flags & SYN)
+
+    @property
+    def fin(self) -> bool:
+        return bool(self.flags & FIN)
+
+    @property
+    def rst(self) -> bool:
+        return bool(self.flags & RST)
+
+    @property
+    def has_ack(self) -> bool:
+        return bool(self.flags & ACK)
+
+    @property
+    def seq_len(self) -> int:
+        """Sequence space consumed: payload bytes plus SYN/FIN."""
+        return len(self.payload) + (1 if self.syn else 0) + (1 if self.fin else 0)
+
+    def flag_string(self) -> str:
+        names = []
+        if self.syn:
+            names.append("SYN")
+        if self.fin:
+            names.append("FIN")
+        if self.rst:
+            names.append("RST")
+        if self.has_ack:
+            names.append("ACK")
+        if self.flags & PSH:
+            names.append("PSH")
+        return "|".join(names) or "-"
+
+    def copy(self) -> "TCPSegment":
+        return TCPSegment(
+            self.sport, self.dport, self.seq, self.ack,
+            self.flags, self.window, self.payload,
+        )
+
+    def to_bytes(self, src: IPv4Address, dst: IPv4Address) -> bytes:
+        """Serialize with a valid checksum over the pseudo-header."""
+        header = struct.pack(
+            "!HHIIBBHHH",
+            self.sport, self.dport, self.seq, self.ack,
+            5 << 4,  # data offset: 5 words, no options
+            self.flags, self.window, 0, 0,
+        )
+        pseudo = src.to_bytes() + dst.to_bytes() + struct.pack(
+            "!BBH", 0, PROTO_TCP, len(header) + len(self.payload)
+        )
+        checksum = internet_checksum(pseudo + header + self.payload)
+        header = header[:16] + struct.pack("!H", checksum) + header[18:]
+        return header + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TCPSegment":
+        if len(data) < 20:
+            raise ValueError("truncated TCP header")
+        sport, dport, seq, ack, offset_flags, flags, window, _csum, _urg = (
+            struct.unpack("!HHIIBBHHH", data[:20])
+        )
+        header_len = (offset_flags >> 4) * 4
+        return cls(sport, dport, seq, ack, flags, window, data[header_len:])
+
+    def __repr__(self) -> str:
+        return (
+            f"<TCP {self.sport}->{self.dport} {self.flag_string()} "
+            f"seq={self.seq} ack={self.ack} len={len(self.payload)}>"
+        )
+
+
+class UDPDatagram:
+    """A UDP datagram."""
+
+    __slots__ = ("sport", "dport", "payload")
+
+    def __init__(self, sport: int, dport: int, payload: bytes = b"") -> None:
+        self.sport = sport
+        self.dport = dport
+        self.payload = payload
+
+    def copy(self) -> "UDPDatagram":
+        return UDPDatagram(self.sport, self.dport, self.payload)
+
+    def to_bytes(self, src: IPv4Address, dst: IPv4Address) -> bytes:
+        length = 8 + len(self.payload)
+        header = struct.pack("!HHHH", self.sport, self.dport, length, 0)
+        pseudo = src.to_bytes() + dst.to_bytes() + struct.pack(
+            "!BBH", 0, PROTO_UDP, length
+        )
+        checksum = internet_checksum(pseudo + header + self.payload)
+        if checksum == 0:
+            checksum = 0xFFFF
+        header = header[:6] + struct.pack("!H", checksum)
+        return header + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "UDPDatagram":
+        if len(data) < 8:
+            raise ValueError("truncated UDP header")
+        sport, dport, length, _csum = struct.unpack("!HHHH", data[:8])
+        return cls(sport, dport, data[8:length])
+
+    def __repr__(self) -> str:
+        return f"<UDP {self.sport}->{self.dport} len={len(self.payload)}>"
+
+
+TransportPayload = Union[TCPSegment, UDPDatagram, bytes]
+
+
+class IPv4Packet:
+    """An IPv4 packet carrying TCP, UDP, or opaque bytes."""
+
+    __slots__ = ("src", "dst", "proto", "ttl", "ident", "payload")
+
+    def __init__(
+        self,
+        src: IPv4Address,
+        dst: IPv4Address,
+        payload: TransportPayload,
+        proto: Optional[int] = None,
+        ttl: int = 64,
+        ident: int = 0,
+    ) -> None:
+        self.src = IPv4Address(src)
+        self.dst = IPv4Address(dst)
+        if proto is None:
+            if isinstance(payload, TCPSegment):
+                proto = PROTO_TCP
+            elif isinstance(payload, UDPDatagram):
+                proto = PROTO_UDP
+            else:
+                raise ValueError("proto required for opaque payload")
+        self.proto = proto
+        self.ttl = ttl
+        self.ident = ident
+        self.payload = payload
+
+    @property
+    def tcp(self) -> TCPSegment:
+        if not isinstance(self.payload, TCPSegment):
+            raise TypeError("payload is not TCP")
+        return self.payload
+
+    @property
+    def udp(self) -> UDPDatagram:
+        if not isinstance(self.payload, UDPDatagram):
+            raise TypeError("payload is not UDP")
+        return self.payload
+
+    def copy(self) -> "IPv4Packet":
+        payload = self.payload
+        if isinstance(payload, (TCPSegment, UDPDatagram)):
+            payload = payload.copy()
+        return IPv4Packet(self.src, self.dst, payload, self.proto, self.ttl, self.ident)
+
+    def to_bytes(self) -> bytes:
+        if isinstance(self.payload, (TCPSegment, UDPDatagram)):
+            body = self.payload.to_bytes(self.src, self.dst)
+        else:
+            body = bytes(self.payload)
+        total_len = 20 + len(body)
+        header = struct.pack(
+            "!BBHHHBBH4s4s",
+            (4 << 4) | 5,  # version 4, IHL 5
+            0, total_len, self.ident, 0,
+            self.ttl, self.proto, 0,
+            self.src.to_bytes(), self.dst.to_bytes(),
+        )
+        checksum = internet_checksum(header)
+        header = header[:10] + struct.pack("!H", checksum) + header[12:]
+        return header + body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IPv4Packet":
+        if len(data) < 20:
+            raise ValueError("truncated IPv4 header")
+        (ver_ihl, _tos, total_len, ident, _frag, ttl, proto, _csum,
+         src_raw, dst_raw) = struct.unpack("!BBHHHBBH4s4s", data[:20])
+        if ver_ihl >> 4 != 4:
+            raise ValueError("not an IPv4 packet")
+        header_len = (ver_ihl & 0xF) * 4
+        body = data[header_len:total_len]
+        src = IPv4Address.from_bytes(src_raw)
+        dst = IPv4Address.from_bytes(dst_raw)
+        payload: TransportPayload
+        if proto == PROTO_TCP:
+            payload = TCPSegment.from_bytes(body)
+        elif proto == PROTO_UDP:
+            payload = UDPDatagram.from_bytes(body)
+        else:
+            payload = body
+        return cls(src, dst, payload, proto, ttl, ident)
+
+    def __repr__(self) -> str:
+        return f"<IPv4 {self.src}->{self.dst} proto={self.proto} {self.payload!r}>"
+
+
+class EthernetFrame:
+    """An Ethernet frame, optionally 802.1Q tagged.
+
+    The inmate network hangs per-inmate isolation on the VLAN tag — in
+    GQ the VLAN ID *is* the inmate identity — so the tag is a first-class
+    attribute rather than a header afterthought.
+    """
+
+    __slots__ = ("src", "dst", "vlan", "ethertype", "payload")
+
+    def __init__(
+        self,
+        src: MacAddress,
+        dst: MacAddress,
+        payload: Union[IPv4Packet, bytes],
+        vlan: Optional[int] = None,
+        ethertype: int = ETHERTYPE_IPV4,
+    ) -> None:
+        self.src = MacAddress(src)
+        self.dst = MacAddress(dst)
+        if vlan is not None and not 1 <= vlan <= 4094:
+            raise ValueError(f"VLAN ID out of 802.1Q range: {vlan}")
+        self.vlan = vlan
+        self.ethertype = ethertype
+        self.payload = payload
+
+    @property
+    def ip(self) -> IPv4Packet:
+        if not isinstance(self.payload, IPv4Packet):
+            raise TypeError("payload is not IPv4")
+        return self.payload
+
+    def copy(self) -> "EthernetFrame":
+        payload = self.payload
+        if isinstance(payload, IPv4Packet):
+            payload = payload.copy()
+        return EthernetFrame(self.src, self.dst, payload, self.vlan, self.ethertype)
+
+    def retag(self, vlan: Optional[int]) -> "EthernetFrame":
+        """Return self with the VLAN tag replaced (mutates in place)."""
+        if vlan is not None and not 1 <= vlan <= 4094:
+            raise ValueError(f"VLAN ID out of 802.1Q range: {vlan}")
+        self.vlan = vlan
+        return self
+
+    def to_bytes(self) -> bytes:
+        if isinstance(self.payload, IPv4Packet):
+            body = self.payload.to_bytes()
+        else:
+            body = bytes(self.payload)
+        header = self.dst.to_bytes() + self.src.to_bytes()
+        if self.vlan is not None:
+            header += struct.pack("!HH", ETHERTYPE_VLAN, self.vlan & 0x0FFF)
+        header += struct.pack("!H", self.ethertype)
+        return header + body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EthernetFrame":
+        if len(data) < 14:
+            raise ValueError("truncated Ethernet header")
+        dst = MacAddress.from_bytes(data[0:6])
+        src = MacAddress.from_bytes(data[6:12])
+        (ethertype,) = struct.unpack("!H", data[12:14])
+        vlan = None
+        offset = 14
+        if ethertype == ETHERTYPE_VLAN:
+            (tci, ethertype) = struct.unpack("!HH", data[14:18])
+            vlan = tci & 0x0FFF
+            offset = 18
+        body = data[offset:]
+        payload: Union[IPv4Packet, bytes]
+        if ethertype == ETHERTYPE_IPV4:
+            payload = IPv4Packet.from_bytes(body)
+        else:
+            payload = body
+        return cls(src, dst, payload, vlan, ethertype)
+
+    def __repr__(self) -> str:
+        tag = f" vlan={self.vlan}" if self.vlan is not None else ""
+        return f"<Eth {self.src}->{self.dst}{tag} {self.payload!r}>"

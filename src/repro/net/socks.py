@@ -1,0 +1,95 @@
+"""SOCKS4 message framing (RFC-less classic, per Koblas 1992).
+
+Storm's proxy bots accept SOCKS message headers from upstream nodes
+and open onward connections on their behalf — that capability is how
+the iframe-injection jobs of §7.1 arrived.  The farm needs just the
+SOCKS4 CONNECT request/response framing.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Tuple
+
+from repro.net.addresses import IPv4Address
+
+VERSION = 4
+CMD_CONNECT = 1
+
+REPLY_GRANTED = 90
+REPLY_REJECTED = 91
+
+
+class Socks4Request:
+    """A SOCKS4 CONNECT request."""
+
+    __slots__ = ("command", "port", "address", "user_id")
+
+    def __init__(
+        self,
+        address: IPv4Address,
+        port: int,
+        command: int = CMD_CONNECT,
+        user_id: bytes = b"",
+    ) -> None:
+        self.command = command
+        self.port = port
+        self.address = IPv4Address(address)
+        self.user_id = user_id
+
+    def to_bytes(self) -> bytes:
+        return (
+            struct.pack("!BBH", VERSION, self.command, self.port)
+            + self.address.to_bytes()
+            + self.user_id
+            + b"\x00"
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> Optional[Tuple["Socks4Request", int]]:
+        """Parse from a buffer; returns (request, bytes consumed) or
+        None if more bytes are needed."""
+        if len(data) < 9:
+            return None
+        version, command, port = struct.unpack("!BBH", data[:4])
+        if version != VERSION:
+            raise ValueError(f"not SOCKS4 (version {version})")
+        address = IPv4Address.from_bytes(data[4:8])
+        terminator = data.find(b"\x00", 8)
+        if terminator < 0:
+            return None
+        user_id = data[8:terminator]
+        return cls(address, port, command, user_id), terminator + 1
+
+    def __repr__(self) -> str:
+        return f"<Socks4Request connect {self.address}:{self.port}>"
+
+
+class Socks4Reply:
+    """A SOCKS4 reply."""
+
+    __slots__ = ("code", "port", "address")
+
+    def __init__(self, code: int, port: int = 0,
+                 address: Optional[IPv4Address] = None) -> None:
+        self.code = code
+        self.port = port
+        self.address = address or IPv4Address(0)
+
+    @property
+    def granted(self) -> bool:
+        return self.code == REPLY_GRANTED
+
+    def to_bytes(self) -> bytes:
+        return struct.pack("!BBH", 0, self.code, self.port) + self.address.to_bytes()
+
+    @classmethod
+    def parse(cls, data: bytes) -> Optional[Tuple["Socks4Reply", int]]:
+        if len(data) < 8:
+            return None
+        _null, code, port = struct.unpack("!BBH", data[:4])
+        return cls(code, port, IPv4Address.from_bytes(data[4:8])), 8
+
+    def __repr__(self) -> str:
+        verdict = "granted" if self.granted else f"code={self.code}"
+        return f"<Socks4Reply {verdict}>"

@@ -1,0 +1,35 @@
+"""Concrete containment policies.
+
+The library the paper's §6.2 describes: ~1,000 lines of policy classes
+including content rewriters, organized as a specialization hierarchy —
+default-deny at the root, per-verdict bases, a spambot base that
+reflects all outbound SMTP, and family-specific leaves that open just
+the C&C lifeline.
+"""
+
+from repro.policies.autoinfect import AutoInfectionPolicy
+from repro.policies.spambot import (
+    GrumPolicy,
+    MegadPolicy,
+    RustockPolicy,
+    SpambotPolicy,
+    WaledacPolicy,
+)
+from repro.policies.storm import StormPolicy
+from repro.policies.worm import WormHoneyfarmPolicy
+from repro.policies.clickbot import ClickbotPolicy
+from repro.policies.ircbot import DgaBotPolicy, IrcBotPolicy
+
+__all__ = [
+    "IrcBotPolicy",
+    "DgaBotPolicy",
+    "AutoInfectionPolicy",
+    "SpambotPolicy",
+    "RustockPolicy",
+    "GrumPolicy",
+    "WaledacPolicy",
+    "MegadPolicy",
+    "StormPolicy",
+    "WormHoneyfarmPolicy",
+    "ClickbotPolicy",
+]

@@ -1,0 +1,53 @@
+"""Clickbot containment.
+
+The clickbot study [21] needed to understand "the precise HTTP
+context of some of the bots' C&C requests" (§7.1 "Exploratory
+containment").  The policy forwards the task-list C&C but keeps the
+actual click traffic inside the farm — clicking through would commit
+live click fraud against advertisers.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.core.policy import PolicyContext, register_policy
+from repro.core.verdicts import ContainmentDecision
+from repro.policies.autoinfect import AutoInfectionPolicy
+
+
+@register_policy
+class ClickbotPolicy(AutoInfectionPolicy):
+    """Task-list C&C forwarded; the clicks themselves contained."""
+
+    name = "Clickbot"
+
+    CNC_RE = re.compile(rb"^GET /click/tasks\?aff=[0-9a-f]+")
+
+    def decide_other(self, ctx: PolicyContext) -> Optional[ContainmentDecision]:
+        if ctx.flow.resp_port == 80 and ctx.flow.proto == 6:
+            return None  # C&C fetch or a click? decide on content
+        if ctx.has_service("sink"):
+            return self.reflect(ctx, "sink", annotation="non-HTTP to sink")
+        return self.deny(ctx)
+
+    def decide_other_content(self, ctx: PolicyContext,
+                             data: bytes) -> Optional[ContainmentDecision]:
+        if self.CNC_RE.match(data):
+            return self.forward(ctx, annotation="C&C task fetch")
+        if (data.startswith(b"GET ") or data.startswith(b"POST ")) \
+                and b"\r\n" in data:
+            # A click: contain it.
+            if ctx.has_service("sink"):
+                return self.reflect(ctx, "sink",
+                                    annotation="click traffic contained")
+            return self.deny(ctx, annotation="click traffic")
+        if len(data) >= 16:
+            return self.fall_back(ctx)
+        return None
+
+    def fall_back(self, ctx: PolicyContext) -> ContainmentDecision:
+        if ctx.has_service("sink"):
+            return self.reflect(ctx, "sink", annotation="unrecognized")
+        return self.deny(ctx)

@@ -1,0 +1,50 @@
+"""Honeycrawler containment.
+
+The crawl itself is the experiment's intent — HTTP fetches toward the
+candidate sites must go out — but whatever the drive-by payload does
+afterwards (C&C, spam) is exactly the activity that must stay inside.
+Shape-gated: plain GETs with a browser User-Agent are the crawl;
+everything else reflects.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.core.policy import ContainmentPolicy, PolicyContext, register_policy
+from repro.core.verdicts import ContainmentDecision
+
+SMTP_PORT = 25
+
+
+@register_policy
+class HoneycrawlerPolicy(ContainmentPolicy):
+    """Crawl fetches go out; post-infection traffic stays in."""
+
+    name = "Honeycrawler"
+
+    CRAWL_RE = re.compile(
+        rb"^GET /[^\s]* HTTP/1\.[01]\r\n(?:.*\r\n)*?"
+        rb"User-Agent: [^\r\n]*vulnerable",
+        re.DOTALL,
+    )
+
+    def decide(self, ctx: PolicyContext) -> Optional[ContainmentDecision]:
+        if not ctx.inmate_is_originator:
+            return self.deny(ctx, annotation="unsolicited inbound")
+        if ctx.flow.resp_port == SMTP_PORT:
+            service = "smtp_sink" if ctx.has_service("smtp_sink") else "sink"
+            return self.reflect(ctx, service, annotation="SMTP containment")
+        if ctx.flow.resp_port == 80 and ctx.flow.proto == 6:
+            return None  # crawl or post-infection traffic? check content
+        return self.reflect(ctx, "sink", annotation="non-crawl to sink")
+
+    def decide_content(self, ctx: PolicyContext,
+                       data: bytes) -> Optional[ContainmentDecision]:
+        if self.CRAWL_RE.match(data):
+            return self.forward(ctx, annotation="crawl fetch")
+        if b"\r\n\r\n" in data or len(data) >= 512:
+            return self.reflect(ctx, "sink",
+                                annotation="post-infection to sink")
+        return None

@@ -1,0 +1,57 @@
+"""Containment policies for the §4 versatility families."""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.core.policy import PolicyContext, register_policy
+from repro.core.verdicts import ContainmentDecision
+from repro.policies.spambot import SpambotPolicy
+
+IRC_PORT = 6667
+
+
+@register_policy
+class IrcBotPolicy(SpambotPolicy):
+    """IRC-herded spambot: forward only the registration-shaped IRC
+    connection; SMTP reflects as always."""
+
+    name = "IrcBot"
+    IRC_HELLO = re.compile(rb"^NICK gq[0-9a-f]+\r\n")
+
+    def decide_cnc(self, ctx: PolicyContext) -> Optional[ContainmentDecision]:
+        if ctx.flow.resp_port == IRC_PORT and ctx.flow.proto == 6:
+            return None  # check the registration shape first
+        return self.fallthrough(ctx)
+
+    def decide_other_content(self, ctx: PolicyContext,
+                             data: bytes) -> Optional[ContainmentDecision]:
+        if self.IRC_HELLO.match(data):
+            return self.forward(ctx, annotation="IRC C&C")
+        if len(data) >= 16 or b"\r\n" in data:
+            return self.fallthrough(ctx)
+        return None
+
+
+@register_policy
+class DgaBotPolicy(SpambotPolicy):
+    """DGA bot: the NXDOMAIN walk happens against the farm resolver
+    (uncontained infra service); only the post-hit HTTP C&C needs a
+    whitelist."""
+
+    name = "DgaBot"
+    CNC_RE = re.compile(rb"^GET /dga/cmd\?id=[0-9a-f]+ HTTP/1\.[01]")
+
+    def decide_cnc(self, ctx: PolicyContext) -> Optional[ContainmentDecision]:
+        if ctx.flow.resp_port == 80 and ctx.flow.proto == 6:
+            return None
+        return self.fallthrough(ctx)
+
+    def decide_other_content(self, ctx: PolicyContext,
+                             data: bytes) -> Optional[ContainmentDecision]:
+        if self.CNC_RE.match(data):
+            return self.forward(ctx, annotation="C&C (DGA-located)")
+        if len(data) >= 16 or b"\r\n" in data:
+            return self.fallthrough(ctx)
+        return None

@@ -1,0 +1,180 @@
+"""Spambot containment policies.
+
+The hierarchy the paper sketches: from the auto-infection base "we
+derive ... a base class for spambots that reflects all outbound SMTP
+traffic", and from it family leaves that open exactly the C&C
+lifeline — the §3 methodology's end state.  The Figure 7 report shows
+the resulting mix for Grum (FORWARD http C&C, REFLECT all SMTP,
+REWRITE autoinfection) and Rustock (FORWARD https C&C, REFLECT SMTP,
+REWRITE http C&C filtering, REWRITE autoinfection).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.core.policy import (
+    PolicyContext,
+    Rewriter,
+    register_policy,
+)
+from repro.core.verdicts import ContainmentDecision
+from repro.policies.autoinfect import AutoInfectionPolicy
+from repro.world.cnc import MEGAD_MAGIC_REQ, MEGAD_PORT
+
+SMTP_PORT = 25
+DNS_PORT = 53
+
+
+@register_policy
+class SpambotPolicy(AutoInfectionPolicy):
+    """Base class for spambots: reflect all outbound SMTP to the sink.
+
+    Port 25 is never allowed out — period.  The C&C lifeline is left
+    to family subclasses; anything not understood is denied or, when a
+    catch-all sink is configured, reflected for inspection.
+    """
+
+    smtp_sink_service = "smtp_sink"
+    fallback_sink_service = "sink"
+
+    def smtp_decision(self, ctx: PolicyContext) -> ContainmentDecision:
+        service = (self.smtp_sink_service
+                   if ctx.has_service(self.smtp_sink_service)
+                   else self.fallback_sink_service)
+        return self.reflect(ctx, service, annotation="full SMTP containment")
+
+    def decide_other(self, ctx: PolicyContext) -> Optional[ContainmentDecision]:
+        if ctx.flow.resp_port == SMTP_PORT and ctx.flow.proto == 6:
+            return self.smtp_decision(ctx)
+        return self.decide_cnc(ctx)
+
+    def decide_cnc(self, ctx: PolicyContext) -> Optional[ContainmentDecision]:
+        """Family subclasses whitelist their C&C here."""
+        return self.fallthrough(ctx)
+
+    def fallthrough(self, ctx: PolicyContext) -> ContainmentDecision:
+        if ctx.has_service(self.fallback_sink_service):
+            return self.reflect(ctx, self.fallback_sink_service,
+                                annotation="unrecognized traffic to sink")
+        return self.deny(ctx, annotation="unrecognized traffic")
+
+
+@register_policy
+class Grum(SpambotPolicy):
+    """Grum containment: forward only Grum-shaped HTTP C&C.
+
+    Named bare "Grum" because Figure 6 keys the config file's
+    ``Decider`` entries on these names.
+    """
+
+    name = "Grum"
+    CNC_PATH = re.compile(rb"^GET /grum/spm\?id=[0-9a-f]+ HTTP/1\.[01]")
+
+    def decide_cnc(self, ctx: PolicyContext) -> Optional[ContainmentDecision]:
+        if ctx.flow.resp_port == 80 and ctx.flow.proto == 6:
+            return None  # content-dependent: wait for the request line
+        return self.fallthrough(ctx)
+
+    def decide_other_content(self, ctx: PolicyContext,
+                             data: bytes) -> Optional[ContainmentDecision]:
+        if self.CNC_PATH.match(data):
+            return self.forward(ctx, annotation="C&C")
+        if len(data) >= 16 or b"\r\n" in data:
+            return self.fallthrough(ctx)
+        return None  # not enough content yet
+
+
+GrumPolicy = Grum
+
+
+class _RustockStatFilter(Rewriter):
+    """REWRITE filter for Rustock's plain-HTTP status beacons
+    (Figure 7's "C&C filtering" rows): strips the bot's delivery
+    statistics out of the beacon before letting it through, so the
+    botmaster never learns the farm's true (sunk) spam volume."""
+
+    STAT_RE = re.compile(rb"(sent=)(\d+)")
+
+    def on_client_data(self, proxy, data: bytes) -> None:
+        proxy.send_to_server(self.STAT_RE.sub(rb"\g<1>0", data))
+
+
+@register_policy
+class Rustock(SpambotPolicy):
+    """Rustock: forward https C&C, REWRITE-filter http beacons."""
+
+    name = "Rustock"
+    CNC_TLS_PORT = 443
+    BEACON_RE = re.compile(rb"^GET /stat\?r=\d+")
+
+    def decide_cnc(self, ctx: PolicyContext) -> Optional[ContainmentDecision]:
+        if ctx.flow.resp_port == self.CNC_TLS_PORT and ctx.flow.proto == 6:
+            return self.forward(ctx, annotation="C&C")
+        if ctx.flow.resp_port == 80 and ctx.flow.proto == 6:
+            return None  # wait for content: beacon or something else?
+        return self.fallthrough(ctx)
+
+    def decide_other_content(self, ctx: PolicyContext,
+                             data: bytes) -> Optional[ContainmentDecision]:
+        if self.BEACON_RE.match(data):
+            return self.rewrite(ctx, annotation="C&C filtering")
+        if len(data) >= 16 or b"\r\n" in data:
+            return self.fallthrough(ctx)
+        return None
+
+    def make_other_rewriter(self, ctx: PolicyContext) -> Rewriter:
+        return _RustockStatFilter()
+
+
+RustockPolicy = Rustock
+
+
+@register_policy
+class Waledac(SpambotPolicy):
+    """Waledac: forward the POST C&C; reflect SMTP to the banner-
+    grabbing sink (after the blacklisting lesson, no real SMTP at
+    all — not even "innocuous" test messages)."""
+
+    name = "Waledac"
+    CNC_RE = re.compile(rb"^POST /waledac/ctrl HTTP/1\.[01]")
+
+    def decide_cnc(self, ctx: PolicyContext) -> Optional[ContainmentDecision]:
+        if ctx.flow.resp_port == 80 and ctx.flow.proto == 6:
+            return None
+        return self.fallthrough(ctx)
+
+    def decide_other_content(self, ctx: PolicyContext,
+                             data: bytes) -> Optional[ContainmentDecision]:
+        if self.CNC_RE.match(data):
+            return self.forward(ctx, annotation="C&C")
+        if len(data) >= 16 or b"\r\n" in data:
+            return self.fallthrough(ctx)
+        return None
+
+
+WaledacPolicy = Waledac
+
+
+@register_policy
+class MegaDContainment(SpambotPolicy):
+    """MegaD: forward only the proprietary binary C&C handshake."""
+
+    name = "MegaD"
+
+    def decide_cnc(self, ctx: PolicyContext) -> Optional[ContainmentDecision]:
+        if ctx.flow.resp_port == MEGAD_PORT and ctx.flow.proto == 6:
+            return None  # verify the magic before forwarding
+        return self.fallthrough(ctx)
+
+    def decide_other_content(self, ctx: PolicyContext,
+                             data: bytes) -> Optional[ContainmentDecision]:
+        if data.startswith(MEGAD_MAGIC_REQ):
+            return self.forward(ctx, annotation="C&C")
+        if len(data) >= len(MEGAD_MAGIC_REQ):
+            return self.fallthrough(ctx)
+        return None
+
+
+MegadPolicy = MegaDContainment

@@ -1,0 +1,48 @@
+"""Storm proxy-bot containment (§7.1 "Unexpected visitors").
+
+"For the C&C-relaying proxy bots in the middle of the Storm hierarchy,
+we preserved outside reachability of the bots (the requirement for
+their becoming relay agents as opposed to spam-sourcing drones) and
+redirected all outgoing activity other than the HTTP-borne C&C
+protocol to our standard sink server."
+
+That reflect-the-rest posture is exactly what caught the FTP
+connection attempts: iframe-injection jobs pushed through the bots'
+SOCKS capability landed at the sink instead of at the victim sites.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.core.policy import PolicyContext, register_policy
+from repro.core.verdicts import ContainmentDecision
+from repro.policies.autoinfect import AutoInfectionPolicy
+
+
+@register_policy
+class StormPolicy(AutoInfectionPolicy):
+    """Reachability + HTTP C&C forwarded; everything else sinks."""
+
+    name = "Storm"
+
+    HTTP_CNC_RE = re.compile(rb"^(GET|POST) /storm/")
+
+    def decide_other(self, ctx: PolicyContext) -> Optional[ContainmentDecision]:
+        if not ctx.inmate_is_originator:
+            # Outside reachability is the point: let the overlay in.
+            return self.forward(ctx, annotation="inbound overlay reachability")
+        if ctx.flow.resp_port == 80 and ctx.flow.proto == 6:
+            return None  # maybe the HTTP-borne C&C; check content
+        return self.reflect(ctx, "sink",
+                            annotation="non-C&C outbound to sink")
+
+    def decide_other_content(self, ctx: PolicyContext,
+                             data: bytes) -> Optional[ContainmentDecision]:
+        if self.HTTP_CNC_RE.match(data):
+            return self.forward(ctx, annotation="HTTP C&C")
+        if len(data) >= 16 or b"\r\n" in data:
+            return self.reflect(ctx, "sink",
+                                annotation="non-C&C outbound to sink")
+        return None

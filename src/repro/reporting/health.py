@@ -1,0 +1,103 @@
+"""Containment health checks over activity reports (§6.5).
+
+"The reports break down activity by subfarm, inmate, and containment
+decision, allowing us to verify that the gateway enforces these
+decisions as expected (for example, an unusual number of FORWARD
+verdicts might indicate a bug in the policy, and absence of any C&C
+REWRITEs would indicate lack of botnet activity)."
+
+These are the operator's eyes: mechanical anomaly rules over the
+Figure 7 aggregates, producing warnings a human triages.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.reporting.report import ActivityReport, InmateActivity
+
+
+class HealthWarning:
+    """One anomaly the checker wants a human to look at."""
+
+    __slots__ = ("severity", "subfarm", "vlan", "check", "message")
+
+    def __init__(self, severity: str, subfarm: str, vlan: Optional[int],
+                 check: str, message: str) -> None:
+        self.severity = severity  # "warn" | "critical"
+        self.subfarm = subfarm
+        self.vlan = vlan
+        self.check = check
+        self.message = message
+
+    def __repr__(self) -> str:
+        where = f"vlan {self.vlan}" if self.vlan is not None else "subfarm"
+        return (f"<{self.severity.upper()} [{self.check}] "
+                f"{self.subfarm}/{where}: {self.message}>")
+
+
+class HealthChecker:
+    """Anomaly rules over one report.
+
+    Parameters
+    ----------
+    max_forward_fraction:
+        FORWARD verdicts above this fraction of an inmate's flows are
+        suspicious — C&C lifelines are narrow, so a forward-heavy mix
+        usually means a policy bug.
+    expect_activity:
+        Inmates with zero contained flows are flagged (dead specimen,
+        broken infection, or policy that kills everything).
+    """
+
+    def __init__(self, max_forward_fraction: float = 0.25,
+                 expect_activity: bool = True,
+                 expect_autoinfection: bool = False) -> None:
+        self.max_forward_fraction = max_forward_fraction
+        self.expect_activity = expect_activity
+        self.expect_autoinfection = expect_autoinfection
+
+    def check(self, report: ActivityReport) -> List[HealthWarning]:
+        warnings: List[HealthWarning] = []
+        for subfarm_name, inmates in report.subfarms.items():
+            if not inmates and self.expect_activity:
+                warnings.append(HealthWarning(
+                    "warn", subfarm_name, None, "no-activity",
+                    "no contained flows at all — are the inmates up?"))
+            for vlan, activity in inmates.items():
+                warnings.extend(self._check_inmate(subfarm_name, vlan,
+                                                   activity))
+        return warnings
+
+    def _check_inmate(self, subfarm: str, vlan: int,
+                      activity: InmateActivity) -> List[HealthWarning]:
+        warnings: List[HealthWarning] = []
+        total = sum(activity.verdict_total(v) for v in activity.groups)
+        forwards = sum(
+            count for verdict, bucket in activity.groups.items()
+            if "FORWARD" in verdict or verdict == "LIMIT"
+            for count in bucket.values()
+        )
+        if total and forwards / total > self.max_forward_fraction:
+            warnings.append(HealthWarning(
+                "critical", subfarm, vlan, "forward-heavy",
+                f"{forwards}/{total} flows FORWARDed "
+                f"({forwards / total:.0%}) — policy bug?"))
+        if self.expect_autoinfection:
+            rewrites = activity.groups.get("REWRITE", {})
+            if not any("autoinfection" in annotation
+                       for (annotation, _t, _p) in rewrites):
+                warnings.append(HealthWarning(
+                    "warn", subfarm, vlan, "no-autoinfection",
+                    "no auto-infection REWRITE observed — sample never "
+                    "delivered?"))
+        if activity.blacklisted:
+            warnings.append(HealthWarning(
+                "critical", subfarm, vlan, "blacklisted",
+                f"global address {activity.global_ip} is LISTED — "
+                f"containment failure"))
+        if total == 0 and self.expect_activity:
+            warnings.append(HealthWarning(
+                "warn", subfarm, vlan, "silent-inmate",
+                "inmate produced no contained flows"))
+        return warnings

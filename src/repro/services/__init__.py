@@ -1,0 +1,14 @@
+"""Infrastructure services of the inmate network (§5.3, §6.3).
+
+The restricted broadcast domain offers DHCP (answered by the gateway's
+packet forwarder) and a recursive DNS resolver; experiment-specific
+services include sink servers — from the 100-line catch-all to the
+fidelity-adjustable SMTP sink with banner grabbing — and the HTTP
+auto-infection service (realized as a REWRITE containment, §6.6).
+"""
+
+from repro.services.dhcp import DhcpClient, DhcpMessage
+from repro.services.sink import CatchAllSink
+from repro.services.smtp_sink import SmtpSink
+
+__all__ = ["DhcpClient", "DhcpMessage", "CatchAllSink", "SmtpSink"]

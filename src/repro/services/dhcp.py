@@ -1,0 +1,162 @@
+"""DHCP: boot-time address assignment for inmates.
+
+The paper's gateway "dynamically assigns internal addresses from
+RFC 1918 space, triggered by the inmates' boot-time chatter" (§5.3).
+The server side therefore lives in the subfarm router; this module
+provides the wire format and the client that inmates run at boot.
+
+The message format is a compact BOOTP-style binary encoding carrying
+exactly what the farm needs: transaction id, client MAC, assigned
+address, router, DNS resolver, and lease time.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Optional
+
+from repro.net.addresses import IPv4Address, MacAddress
+from repro.net.host import BROADCAST_IP, Host
+from repro.net.packet import IPv4Packet, UDPDatagram
+
+DHCP_SERVER_PORT = 67
+DHCP_CLIENT_PORT = 68
+
+_FORMAT = struct.Struct("!BBI6s4s4s4sI")
+
+
+class DhcpMessage:
+    """A DHCP message (DISCOVER / OFFER / REQUEST / ACK)."""
+
+    DISCOVER = 1
+    OFFER = 2
+    REQUEST = 3
+    ACK = 4
+
+    KIND_NAMES = {1: "DISCOVER", 2: "OFFER", 3: "REQUEST", 4: "ACK"}
+
+    __slots__ = ("kind", "xid", "chaddr", "yiaddr", "router", "dns", "lease")
+
+    def __init__(
+        self,
+        kind: int,
+        xid: int,
+        chaddr: MacAddress,
+        yiaddr: Optional[IPv4Address] = None,
+        router: Optional[IPv4Address] = None,
+        dns: Optional[IPv4Address] = None,
+        lease: int = 86400,
+    ) -> None:
+        self.kind = kind
+        self.xid = xid
+        self.chaddr = chaddr
+        self.yiaddr = yiaddr or IPv4Address(0)
+        self.router = router or IPv4Address(0)
+        self.dns = dns or IPv4Address(0)
+        self.lease = lease
+
+    @classmethod
+    def discover(cls, xid: int, chaddr: MacAddress) -> "DhcpMessage":
+        return cls(cls.DISCOVER, xid, chaddr)
+
+    @classmethod
+    def offer(cls, xid: int, chaddr: MacAddress, yiaddr: IPv4Address,
+              router: IPv4Address, dns: IPv4Address,
+              lease: int = 86400) -> "DhcpMessage":
+        return cls(cls.OFFER, xid, chaddr, yiaddr, router, dns, lease)
+
+    @classmethod
+    def request(cls, xid: int, chaddr: MacAddress,
+                yiaddr: IPv4Address) -> "DhcpMessage":
+        return cls(cls.REQUEST, xid, chaddr, yiaddr)
+
+    @classmethod
+    def ack(cls, xid: int, chaddr: MacAddress, yiaddr: IPv4Address,
+            router: IPv4Address, dns: IPv4Address,
+            lease: int = 86400) -> "DhcpMessage":
+        return cls(cls.ACK, xid, chaddr, yiaddr, router, dns, lease)
+
+    def to_bytes(self) -> bytes:
+        return _FORMAT.pack(
+            1, self.kind, self.xid, self.chaddr.to_bytes(),
+            self.yiaddr.to_bytes(), self.router.to_bytes(),
+            self.dns.to_bytes(), self.lease,
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DhcpMessage":
+        if len(data) < _FORMAT.size:
+            raise ValueError("truncated DHCP message")
+        op, kind, xid, chaddr, yiaddr, router, dns, lease = _FORMAT.unpack(
+            data[:_FORMAT.size]
+        )
+        if op != 1 or kind not in cls.KIND_NAMES:
+            raise ValueError("not a farm DHCP message")
+        return cls(
+            kind, xid, MacAddress.from_bytes(chaddr),
+            IPv4Address.from_bytes(yiaddr), IPv4Address.from_bytes(router),
+            IPv4Address.from_bytes(dns), lease,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<DHCP {self.KIND_NAMES[self.kind]} xid={self.xid} "
+            f"yiaddr={self.yiaddr}>"
+        )
+
+
+class DhcpClient:
+    """Boot-time DHCP client for inmate hosts.
+
+    Runs the DISCOVER → OFFER → REQUEST → ACK exchange and configures
+    the host's interface from the ACK, then calls ``on_configured``.
+    This *is* the "boot-time chatter" that triggers the gateway's NAT
+    assignment.
+    """
+
+    RETRY_INTERVAL = 3.0
+
+    def __init__(self, host: Host,
+                 on_configured: Optional[Callable[[Host], None]] = None) -> None:
+        self.host = host
+        self.on_configured = on_configured
+        self.configured = False
+        self.attempts = 0
+        self._xid = host.rng.randrange(1 << 32)
+        self._retry_event = None
+
+    def start(self) -> None:
+        self.host.udp.bind(DHCP_CLIENT_PORT, self._on_datagram)
+        self._send_discover()
+
+    def _send_discover(self) -> None:
+        if self.configured:
+            return
+        self.attempts += 1
+        message = DhcpMessage.discover(self._xid, self.host.mac)
+        self.host.udp.sendto(message.to_bytes(), BROADCAST_IP,
+                             DHCP_SERVER_PORT, DHCP_CLIENT_PORT)
+        self._retry_event = self.host.sim.schedule(
+            self.RETRY_INTERVAL, self._send_discover, label="dhcp-retry"
+        )
+
+    def _on_datagram(self, host: Host, packet: IPv4Packet,
+                     datagram: UDPDatagram) -> None:
+        try:
+            message = DhcpMessage.from_bytes(datagram.payload)
+        except ValueError:
+            return
+        if message.xid != self._xid or message.chaddr != host.mac:
+            return
+        if message.kind == DhcpMessage.OFFER:
+            request = DhcpMessage.request(self._xid, host.mac, message.yiaddr)
+            host.udp.sendto(request.to_bytes(), BROADCAST_IP,
+                            DHCP_SERVER_PORT, DHCP_CLIENT_PORT)
+        elif message.kind == DhcpMessage.ACK and not self.configured:
+            self.configured = True
+            if self._retry_event is not None:
+                self._retry_event.cancel()
+            host.configure(message.yiaddr, gateway_ip=message.router)
+            host.dns_server = message.dns  # type: ignore[attr-defined]
+            if self.on_configured:
+                self.on_configured(host)

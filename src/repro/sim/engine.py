@@ -1,0 +1,187 @@
+"""The discrete-event simulation engine.
+
+A :class:`Simulator` owns a virtual clock and a priority queue of
+:class:`Event` records.  Components schedule callbacks at absolute or
+relative virtual times; :meth:`Simulator.run` drains the queue in
+timestamp order.  Ties are broken by a monotonically increasing sequence
+number so that two events scheduled for the same instant fire in the
+order they were scheduled — this keeps runs deterministic.
+
+The engine knows nothing about networks or malware; it is the substrate
+every other subsystem builds on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable, Dict, List, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` and compared by
+    ``(time, seq)`` so the heap pops them deterministically.  Cancelling
+    an event marks it dead; the heap lazily discards dead entries.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Mark this event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        name = self.label or getattr(self.callback, "__name__", "callback")
+        return f"<Event t={self.time:.6f} {name} ({state})>"
+
+
+class Simulator:
+    """Virtual clock plus event queue.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the experiment.  Component RNGs are derived from
+        it via :meth:`rng`, so a given seed replays identically.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self.seed = seed
+        self._rngs: Dict[str, random.Random] = {}
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Randomness
+    # ------------------------------------------------------------------
+    def rng(self, name: str) -> random.Random:
+        """Return the named RNG stream, creating it on first use.
+
+        Each stream is seeded from ``(master seed, name)`` so adding a
+        new consumer does not perturb existing streams.
+        """
+        if name not in self._rngs:
+            self._rngs[name] = random.Random(f"{self.seed}/{name}")
+        return self._rngs[name]
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        event = Event(self._now + delay, next(self._seq), callback, args, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at t={time} < now={self._now}"
+            )
+        event = Event(time, next(self._seq), callback, args, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Drain the event queue.
+
+        Runs until the queue empties, virtual time would pass ``until``,
+        or ``max_events`` callbacks have fired.  Returns the virtual time
+        at which execution stopped.  When stopped by ``until``, the clock
+        is advanced to exactly ``until`` (events beyond it stay queued).
+        """
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event.callback(*event.args)
+                processed += 1
+                self.events_processed += 1
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Run a single event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self.events_processed += 1
+            return True
+        return False
+
+    @property
+    def pending(self) -> int:
+        """Number of live events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def __repr__(self) -> str:
+        return f"<Simulator t={self._now:.3f} pending={self.pending}>"

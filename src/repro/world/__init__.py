@@ -1,0 +1,16 @@
+"""The simulated external universe.
+
+Everything GQ's inmates talk to across the upstream interface lives
+here: an authoritative DNS server, botnet C&C servers, victim mail
+exchangers, FTP servers, and the anti-spam blacklist infrastructure
+(a Composite Blocking List model).  The paper's operational lessons
+depend on the outside world *reacting* to inmate traffic — most
+prominently the Waledac episode, where Google's MX recognized the
+bots' HELO string and fed the blacklist — so these services are
+active participants, not static fixtures.
+"""
+
+from repro.world.blacklist import BlockingList
+from repro.world.builder import ExternalWorld
+
+__all__ = ["ExternalWorld", "BlockingList"]

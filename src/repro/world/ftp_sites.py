@@ -1,0 +1,56 @@
+"""External FTP sites — targets of the Storm iframe-injection jobs.
+
+§7.1 "Unexpected visitors": an upstream botmaster used Storm proxy
+bots' SOCKS capability to log into FTP servers with known credentials
+and re-upload pages with malicious iframes.  These are those servers:
+small websites whose stolen credentials circulate in the underground.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.ftp import FtpServerEngine
+from repro.net.host import Host
+from repro.net.tcp import TcpConnection
+
+FTP_PORT = 21
+
+
+class FtpSite:
+    """An external FTP server with an in-memory site and accounts."""
+
+    def __init__(self, host: Host, accounts: Dict[str, str],
+                 files: Dict[str, bytes],
+                 banner: str = "ProFTPD 1.3 Server ready") -> None:
+        self.host = host
+        self.accounts = dict(accounts)
+        self.files = dict(files)
+        self.banner = banner
+        self.sessions = 0
+        self.engines = []
+        host.tcp.listen(FTP_PORT, self._accept)
+
+    def _accept(self, conn: TcpConnection) -> None:
+        self.sessions += 1
+        engine = FtpServerEngine(
+            send=conn.send,
+            accounts=self.accounts,
+            files=self.files,  # shared dict: uploads are visible site-wide
+            banner=self.banner,
+        )
+        self.engines.append(engine)
+        conn.app = engine
+        conn.on_data = lambda c, d: engine.feed(d)
+        conn.on_remote_close = lambda c: c.close()
+
+    @property
+    def defaced(self) -> bool:
+        """Has any page been modified to carry an iframe?"""
+        return any(b"<iframe" in content for content in self.files.values())
+
+    def uploads(self):
+        out = []
+        for engine in self.engines:
+            out.extend(engine.uploads)
+        return out

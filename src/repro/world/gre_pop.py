@@ -1,0 +1,77 @@
+"""The colleague's side of a GRE tunnel: a small point of presence.
+
+It owns (advertises) the donated prefix on the backbone, encapsulates
+everything addressed into the prefix toward the farm gateway's tunnel
+address, and decapsulates the farm's egress GRE back onto the
+backbone.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.net.addresses import IPv4Address, IPv4Network, MacAddress
+from repro.net.gre import PROTO_GRE, decapsulate, encapsulate
+from repro.net.link import Link, Port
+from repro.net.packet import ETHERTYPE_IPV4, EthernetFrame, IPv4Packet
+from repro.net.router import Router
+from repro.sim.engine import Simulator
+
+
+class GrePop:
+    """A backbone-attached device terminating one GRE tunnel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        backbone: Router,
+        pop_ip: IPv4Address,
+        donated_networks: List[IPv4Network],
+        farm_tunnel_ip: IPv4Address,
+        latency: float = 0.02,
+    ) -> None:
+        self.sim = sim
+        self.pop_ip = IPv4Address(pop_ip)
+        self.donated_networks = list(donated_networks)
+        self.farm_tunnel_ip = IPv4Address(farm_tunnel_ip)
+        self.mac = MacAddress(0x02_99_00_00_00_01)
+
+        self.port = Port(self, name="gre-pop")
+        backbone_port = backbone.attach_port()
+        Link(sim, self.port, backbone_port, latency)
+        backbone.add_route(IPv4Network(f"{self.pop_ip}/32"), backbone_port)
+        for network in donated_networks:
+            backbone.add_route(network, backbone_port)
+        backbone._neighbor_macs[backbone_port] = self.mac
+
+        self.ingress_encapsulated = 0
+        self.egress_decapsulated = 0
+
+    def attach_port(self) -> Port:
+        return self.port
+
+    def receive_frame(self, frame: EthernetFrame, port: Port) -> None:
+        packet = frame.payload
+        if not isinstance(packet, IPv4Packet):
+            return
+        if packet.proto == PROTO_GRE and packet.dst == self.pop_ip:
+            inner = decapsulate(packet)
+            if inner is not None:
+                # Farm egress: hand the inner packet back to the
+                # backbone for native forwarding.
+                self.egress_decapsulated += 1
+                self.port.send(EthernetFrame(
+                    self.mac, MacAddress.broadcast(), inner,
+                    ethertype=ETHERTYPE_IPV4))
+            return
+        if any(network.contains(packet.dst)
+               for network in self.donated_networks):
+            # Ingress for the donated prefix: tunnel it to the farm.
+            self.ingress_encapsulated += 1
+            outer = encapsulate(packet, self.pop_ip, self.farm_tunnel_ip)
+            self.port.send(EthernetFrame(
+                self.mac, MacAddress.broadcast(), outer,
+                ethertype=ETHERTYPE_IPV4))
+
+    def __repr__(self) -> str:
+        return f"<GrePop {self.pop_ip} nets={[str(n) for n in self.donated_networks]}>"

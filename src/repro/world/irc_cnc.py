@@ -1,0 +1,58 @@
+"""IRC C&C infrastructure: the server and the herder."""
+
+from __future__ import annotations
+
+import json
+from repro.net.host import Host
+from repro.net.irc import IrcNetwork, IrcServerEngine
+from repro.net.tcp import TcpConnection
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+
+IRC_PORT = 6667
+
+
+class IrcCncServer:
+    """An IRC server hosting the botnet's command channel."""
+
+    def __init__(self, host: Host, network_name: str = "irc.cnc.example",
+                 port: int = IRC_PORT) -> None:
+        self.host = host
+        self.network = IrcNetwork(network_name)
+        self.connections_accepted = 0
+        host.tcp.listen(port, self._accept)
+
+    def _accept(self, conn: TcpConnection) -> None:
+        self.connections_accepted += 1
+        engine = IrcServerEngine(self.network, conn.send)
+        conn.app = engine
+        conn.on_data = lambda c, d: engine.feed(d)
+        conn.on_remote_close = lambda c: c.close()
+
+
+class IrcHerder:
+    """The botmaster: periodically issues ``!spam`` commands by
+    setting the command channel's topic."""
+
+    def __init__(self, sim: Simulator, server: IrcCncServer,
+                 campaign_source, channel: str = "#cmd",
+                 command_interval: float = 120.0) -> None:
+        self.sim = sim
+        self.server = server
+        self.campaign_source = campaign_source
+        self.channel = channel
+        self.commands_issued = 0
+        self._process = Process(sim, command_interval, self._issue,
+                                label="irc-herder", initial_delay=10.0)
+
+    def start(self) -> None:
+        self._process.start()
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    def _issue(self) -> None:
+        campaign = self.campaign_source.next_batch()
+        command = "!spam " + json.dumps(campaign)
+        self.commands_issued += 1
+        self.server.network.set_topic(self.channel, command)

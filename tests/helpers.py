@@ -1,0 +1,24 @@
+"""Shared test fixtures and topology builders."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.net.addresses import IPv4Address
+from repro.net.host import Host
+from repro.net.link import Link, Switch
+from repro.sim.engine import Simulator
+
+
+def lan(
+    num_hosts: int = 2, seed: int = 7, subnet: str = "10.0.0."
+) -> Tuple[Simulator, Switch, List[Host]]:
+    """A flat LAN: ``num_hosts`` hosts on one access-VLAN switch."""
+    sim = Simulator(seed=seed)
+    switch = Switch(sim, "lan")
+    hosts = []
+    for i in range(num_hosts):
+        host = Host(sim, f"h{i}", ip=IPv4Address(f"{subnet}{i + 1}"))
+        Link(sim, host.attach_port(), switch.attach_port(access_vlan=1))
+        hosts.append(host)
+    return sim, switch, hosts

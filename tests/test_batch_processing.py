@@ -1,0 +1,101 @@
+"""§6.6 batch processing: the revert/reinfect/serve-next-sample loop.
+
+"Processing batches of malware samples follows as a simple
+generalization: instead of serving the same sample repeatedly, we
+maintain the batch as a list of files and serve them sequentially."
+
+The full machinery in one scenario: auto-infection serves sample k,
+the specimen runs, the activity trigger notices it has gone quiet (or
+the operator reverts), the inmate reverts to the clean image, boots,
+reinfects — and receives sample k+1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.farm import Farm, FarmConfig
+from repro.inmates.images import autoinfect_image
+from repro.malware.corpus import Sample, SampleBatch
+from repro.policies.spambot import GrumPolicy
+from repro.world.builder import ExternalWorld
+
+pytestmark = pytest.mark.integration
+
+
+def build_batch_farm(batch_size=3, seed=131):
+    farm = Farm(FarmConfig(seed=seed))
+    sub = farm.create_subfarm("batch")
+    world = ExternalWorld(farm)
+    world.add_standard_victims(domains=2, mailboxes_per_domain=15)
+    world.add_http_cnc("grum", "grum-cc.example",
+                       world.default_campaign("grum", batch_size=8,
+                                              send_interval=1.0),
+                       path_prefix="/grum/")
+    sub.add_catchall_sink()
+    sub.add_smtp_sink()
+
+    samples = [Sample("grum", params={"variant": i})
+               for i in range(batch_size)]
+    batch = SampleBatch("grum.batch.*.exe", samples)
+    policy = GrumPolicy()
+    executed = []
+    inmate = sub.create_inmate(
+        image_factory=autoinfect_image(
+            on_executed=lambda host, specimen: executed.append(specimen)),
+        policy=policy)
+    policy.set_batch(inmate.vlan, inmate.vlan, batch)
+    return farm, sub, world, batch, samples, executed, inmate
+
+
+class TestBatchProcessing:
+    def test_operator_reverts_walk_the_batch(self):
+        (farm, sub, world, batch, samples, executed,
+         inmate) = build_batch_farm()
+        farm.run(until=300)
+        assert len(executed) == 1
+        assert executed[0].sample_id == samples[0].md5
+
+        for expected in (1, 2):
+            farm.controller.execute("revert", inmate.vlan)
+            farm.run(until=farm.sim.now + 300)
+            assert len(executed) == expected + 1
+            assert executed[expected].sample_id == samples[expected].md5
+
+        assert batch.served == 3
+        md5s = [s.sample_id for s in executed]
+        assert len(set(md5s)) == 3, "each revert got the next binary"
+
+    def test_trigger_driven_reinfection(self):
+        """The Figure 6 trigger closes the loop autonomously: when a
+        specimen stops spamming, the inmate reverts and the next batch
+        member is served."""
+        (farm, sub, world, batch, samples, executed,
+         inmate) = build_batch_farm(seed=132)
+        # Configured up front, as Figure 6 does.
+        sub.trigger_engine.add_text("*:25/tcp / 3min < 1 -> revert",
+                                    {inmate.vlan})
+        # The bot spams for a while...
+        farm.run(until=200)
+        assert len(executed) == 1
+        # ...then its campaign dries up and it goes quiet.
+        world.cnc_servers["grum"].campaign.targets = []
+        executed[0].stop()
+        farm.run(until=1200)
+        assert inmate.reverts >= 1
+        assert len(executed) >= 2
+        assert executed[1].sample_id == samples[1].md5
+
+    def test_all_infections_visible_in_verdict_annotations(self):
+        (farm, sub, world, batch, samples, executed,
+         inmate) = build_batch_farm(seed=133)
+        farm.run(until=200)
+        farm.controller.execute("revert", inmate.vlan)
+        farm.run(until=500)
+        annotations = [
+            record.decision.annotation
+            for record in sub.containment_server.verdict_log
+            if record.decision.annotation.startswith("autoinfection")
+        ]
+        assert f"autoinfection {samples[0].md5}" in annotations
+        assert f"autoinfection {samples[1].md5}" in annotations

@@ -1,0 +1,228 @@
+"""Figure 6 configuration format and activity triggers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    ConfigError,
+    ContainmentConfig,
+    SampleLibrary,
+    apply_config,
+)
+from repro.core.triggers import TriggerEngine, TriggerSpec
+from repro.farm import Farm, FarmConfig
+from repro.malware.corpus import Sample
+from repro.net.addresses import IPv4Address
+from repro.net.flow import FiveTuple
+from repro.net.packet import PROTO_TCP, PROTO_UDP
+from repro.sim.engine import Simulator
+
+FIGURE_6 = """
+[VLAN 16-17]
+Decider = Rustock
+Infection = rustock.100921.*.exe
+
+[VLAN 18-19]
+Decider = Grum
+Infection = grum.100818.*.exe
+
+[VLAN 16-19]
+Trigger = *:25/tcp / 30min < 1 -> revert
+
+[Autoinfect]
+Address = 10.9.8.7
+Port = 6543
+
+[BannerSmtpSink]
+Address = 10.3.1.4
+Port = 2526
+"""
+
+
+def smtp_flow(dst="198.51.100.9", port=25):
+    return FiveTuple(IPv4Address("10.100.0.2"), 4242,
+                     IPv4Address(dst), port, PROTO_TCP)
+
+
+class TestConfigParsing:
+    def test_figure6_parses(self):
+        config = ContainmentConfig.parse(FIGURE_6)
+        assert len(config.vlan_sections) == 3
+        assert config.vlan_sections[0].decider == "Rustock"
+        assert config.vlan_sections[0].infection == "rustock.100921.*.exe"
+        assert config.vlan_sections[1].decider == "Grum"
+        assert config.vlan_sections[2].triggers == [
+            "*:25/tcp / 30min < 1 -> revert"
+        ]
+
+    def test_section_resolution_by_vlan(self):
+        config = ContainmentConfig.parse(FIGURE_6)
+        assert config.section_for_vlan(16).decider == "Rustock"
+        assert config.section_for_vlan(19).decider == "Grum"
+        assert config.section_for_vlan(99) is None
+
+    def test_trigger_applies_to_whole_range(self):
+        config = ContainmentConfig.parse(FIGURE_6)
+        for vlan in (16, 17, 18, 19):
+            assert config.triggers_for_vlan(vlan)
+        assert config.triggers_for_vlan(20) == []
+
+    def test_service_sections(self):
+        config = ContainmentConfig.parse(FIGURE_6)
+        autoinfect = config.service("Autoinfect")
+        assert str(autoinfect.address) == "10.9.8.7"
+        assert autoinfect.port == 6543
+        sink = config.service("BannerSmtpSink")
+        assert sink.port == 2526
+
+    def test_malformed_trigger_fails_at_parse_time(self):
+        with pytest.raises(ValueError):
+            ContainmentConfig.parse("[VLAN 1]\nTrigger = gibberish\n")
+
+    def test_key_outside_section_rejected(self):
+        with pytest.raises(ConfigError):
+            ContainmentConfig.parse("Decider = Rustock\n")
+
+    def test_comments_and_blanks_ignored(self):
+        config = ContainmentConfig.parse(
+            "# comment\n\n[VLAN 5]\n; another\nDecider = Grum\n")
+        assert config.section_for_vlan(5).decider == "Grum"
+
+    def test_single_vlan_section(self):
+        config = ContainmentConfig.parse("[VLAN 7]\nDecider = Rustock\n")
+        section = config.section_for_vlan(7)
+        assert (section.first, section.last) == (7, 7)
+
+
+class TestSampleLibrary:
+    def test_pattern_matching(self):
+        library = SampleLibrary()
+        library.add("rustock.100921.a.exe", Sample("rustock"))
+        library.add("rustock.100921.b.exe", Sample("rustock",
+                                                   params={"v": 2}))
+        library.add("grum.100818.a.exe", Sample("grum"))
+        batch = library.match("rustock.100921.*.exe")
+        assert len(batch) == 2
+
+    def test_unmatched_pattern_raises(self):
+        with pytest.raises(ConfigError):
+            SampleLibrary().match("nothing.*")
+
+
+class TestApplyConfig:
+    def test_policies_wired_into_subfarm(self):
+        farm = Farm(FarmConfig(seed=1))
+        sub = farm.create_subfarm("botfarm")
+        library = SampleLibrary()
+        library.add("rustock.100921.a.exe", Sample("rustock"))
+        library.add("grum.100818.a.exe", Sample("grum"))
+        config = ContainmentConfig.parse(FIGURE_6)
+        policies = apply_config(config, sub, library)
+        assert sub.policy_map.resolve(16).policy_name == "Rustock"
+        assert sub.policy_map.resolve(18).policy_name == "Grum"
+        assert sub.policy_map.resolve(99).policy_name == "DefaultDeny"
+        assert (16, 17) in policies and (18, 19) in policies
+        # Services registered under policy-facing keys.
+        assert "smtp_sink" in sub.services
+
+    def test_missing_library_with_infection_raises(self):
+        farm = Farm(FarmConfig(seed=1))
+        sub = farm.create_subfarm("botfarm")
+        config = ContainmentConfig.parse(FIGURE_6)
+        with pytest.raises(ConfigError):
+            apply_config(config, sub, library=None)
+
+
+class TestTriggerSpec:
+    def test_figure6_trigger_parses(self):
+        spec = TriggerSpec.parse("*:25/tcp / 30min < 1 -> revert")
+        assert spec.dst is None
+        assert spec.port == 25
+        assert spec.proto == PROTO_TCP
+        assert spec.window == 1800.0
+        assert spec.op == "<"
+        assert spec.threshold == 1
+        assert spec.action == "revert"
+        assert spec.under_threshold
+
+    def test_specific_destination(self):
+        spec = TriggerSpec.parse(
+            "198.51.100.9:80/udp / 5min > 100 -> terminate")
+        assert str(spec.dst) == "198.51.100.9"
+        assert spec.proto == PROTO_UDP
+        assert not spec.under_threshold
+
+    def test_matching(self):
+        spec = TriggerSpec.parse("*:25/tcp / 30min < 1 -> revert")
+        assert spec.matches(smtp_flow())
+        assert not spec.matches(smtp_flow(port=80))
+
+
+class TestTriggerEngine:
+    def test_absence_trigger_fires_after_quiet_window(self):
+        sim = Simulator(seed=0)
+        actions = []
+        engine = TriggerEngine(sim, lifecycle=lambda a, v: actions.append((a, v)),
+                               check_interval=30.0)
+        engine.add_text("*:25/tcp / 5min < 1 -> revert", {18})
+        # The inmate shows some activity, then goes quiet.
+        engine.flow_event(18, 0.0, smtp_flow())
+        sim.run(until=200)
+        assert actions == [], "window has not elapsed in silence yet"
+        sim.run(until=1000)
+        assert ("revert", 18) in actions
+
+    def test_absence_trigger_holds_while_active(self):
+        sim = Simulator(seed=0)
+        actions = []
+        engine = TriggerEngine(sim, lifecycle=lambda a, v: actions.append((a, v)),
+                               check_interval=30.0)
+        engine.add_text("*:25/tcp / 5min < 1 -> revert", {18})
+
+        from repro.sim.process import Process
+        keeper = Process(sim, 60.0, lambda: engine.flow_event(
+            18, sim.now, smtp_flow()), label="keepalive")
+        keeper.start()
+        sim.run(until=2000)
+        assert actions == []
+
+    def test_overrate_trigger_fires_immediately(self):
+        sim = Simulator(seed=0)
+        actions = []
+        engine = TriggerEngine(sim, lifecycle=lambda a, v: actions.append((a, v)),
+                               check_interval=30.0)
+        engine.add_text("*:25/tcp / 1min > 10 -> terminate", {7})
+        for i in range(12):
+            engine.flow_event(7, float(i), smtp_flow())
+        assert ("terminate", 7) in actions
+
+    def test_trigger_only_binds_its_vlans(self):
+        sim = Simulator(seed=0)
+        actions = []
+        engine = TriggerEngine(sim, lifecycle=lambda a, v: actions.append((a, v)),
+                               check_interval=30.0)
+        engine.add_text("*:25/tcp / 1min > 2 -> terminate", {7})
+        for i in range(5):
+            engine.flow_event(8, float(i), smtp_flow())  # different vlan
+        assert actions == []
+
+    def test_lifecycle_revert_through_controller(self):
+        """Trigger -> containment server -> management network ->
+        inmate controller -> inmate revert: the full §5.5 loop."""
+        from repro.inmates.images import idle_image
+
+        farm = Farm(FarmConfig(seed=4))
+        sub = farm.create_subfarm("lifecycle")
+        inmate = sub.create_inmate(image_factory=idle_image())
+        farm.run(until=60)
+        first_generation = inmate.generation
+        assert inmate.host is not None
+
+        sub.trigger_engine.add_text("*:25/tcp / 2min < 1 -> revert",
+                                    {inmate.vlan})
+        # Show activity once so the absence trigger arms.
+        sub.trigger_engine.flow_event(inmate.vlan, farm.sim.now, smtp_flow())
+        farm.run(until=700)
+        assert inmate.reverts >= 1
+        assert inmate.generation > first_generation

@@ -1,0 +1,159 @@
+"""The policy DSL (§8 future work) and the verification tool-chain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.policy_testing import (
+    DEFAULT_CONTENT,
+    check_invariants,
+    enumerate_surface,
+    generate_probes,
+    verify_enforcement,
+)
+from repro.core.dsl import DslError, DslPolicy, parse_program
+from repro.core.policy import AllowAll, DefaultDeny
+from repro.core.verdicts import Verdict
+from repro.policies.spambot import GrumPolicy
+
+GRUM_PROGRAM = """
+# Grum containment, as a policy program
+outbound port 25/tcp                          -> reflect smtp_sink
+outbound port 80/tcp content ~ "GET /grum/"   -> forward
+default                                       -> reflect sink
+"""
+
+
+class TestDslParsing:
+    def test_grum_program_parses(self):
+        rules, default = parse_program(GRUM_PROGRAM)
+        assert len(rules) == 2
+        assert rules[0].port_lo == 25 and rules[0].action.kind == "reflect"
+        assert rules[1].needs_content
+        assert default.kind == "reflect"
+
+    def test_port_ranges(self):
+        rules, _ = parse_program(
+            "port 6660-6669/tcp -> drop\ndefault -> forward\n")
+        assert rules[0].port_lo == 6660 and rules[0].port_hi == 6669
+
+    def test_redirect_with_port(self):
+        rules, _ = parse_program(
+            "port 80/tcp -> redirect 10.3.0.9:8080\ndefault -> drop\n")
+        action = rules[0].action
+        assert str(action.target_ip) == "10.3.0.9"
+        assert action.target_port == 8080
+
+    def test_limit_rate(self):
+        rules, _ = parse_program(
+            "port 8080/tcp -> limit 2500\ndefault -> drop\n")
+        assert rules[0].action.rate == 2500.0
+
+    def test_regex_content(self):
+        rules, _ = parse_program(
+            'port 80/tcp content =~ "GET /(a|b)/" -> forward\n'
+            "default -> drop\n")
+        assert rules[0].matches_content(b"GET /a/x HTTP/1.1")
+        assert not rules[0].matches_content(b"GET /c/x HTTP/1.1")
+
+    def test_missing_default_rejected(self):
+        with pytest.raises(DslError):
+            parse_program("port 80/tcp -> forward\n")
+
+    def test_duplicate_default_rejected(self):
+        with pytest.raises(DslError):
+            parse_program("default -> drop\ndefault -> forward\n")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(DslError):
+            parse_program("port 80/tcp -> explode\ndefault -> drop\n")
+
+    def test_bad_port_spec_rejected(self):
+        with pytest.raises(DslError):
+            parse_program("port eighty/tcp -> drop\ndefault -> drop\n")
+
+
+class TestDslSemantics:
+    def test_first_match_wins(self):
+        policy = DslPolicy(
+            "port 80/tcp -> drop\nport 80/tcp -> forward\n"
+            "default -> forward\n")
+        surface = enumerate_surface(policy)
+        matrix = surface.verdict_matrix()
+        assert matrix[("outbound", 80, "http-get")] == "DROP"
+
+    def test_grum_program_matches_handwritten_policy(self):
+        """The DSL program and the Python GrumPolicy must agree on the
+        full probe surface (modulo annotation details)."""
+        dsl_surface = enumerate_surface(DslPolicy(GRUM_PROGRAM))
+        py_surface = enumerate_surface(GrumPolicy())
+        dsl_matrix = dsl_surface.verdict_matrix()
+        py_matrix = py_surface.verdict_matrix()
+        for key, py_verdict in py_matrix.items():
+            direction, port, tag = key
+            if direction == "inbound":
+                continue  # handwritten policy treats inbound via autoinfect path
+            if tag == "empty":
+                continue  # undecidable without content either way
+            if py_verdict == "REWRITE":
+                continue  # autoinfection specifics are out of DSL scope
+            assert dsl_matrix.get(key) == py_verdict, key
+
+    def test_direction_guards(self):
+        policy = DslPolicy(
+            "inbound any -> forward\ndefault -> drop\n")
+        surface = enumerate_surface(policy)
+        matrix = surface.verdict_matrix()
+        assert matrix[("inbound", 80, "http-get")] == "FORWARD"
+        assert matrix[("outbound", 80, "http-get")] == "DROP"
+
+    def test_coverage_counts_hits(self):
+        policy = DslPolicy(GRUM_PROGRAM)
+        enumerate_surface(policy)
+        coverage = dict(policy.coverage())
+        assert any(count > 0 for count in coverage.values())
+
+
+class TestSurfaceEnumeration:
+    def test_default_deny_forwards_nothing(self):
+        surface = enumerate_surface(DefaultDeny())
+        assert surface.forwarded() == []
+
+    def test_allow_all_forwards_everything(self):
+        surface = enumerate_surface(AllowAll())
+        assert len(surface.forwarded()) == len(surface.outcomes)
+
+    def test_probe_matrix_dimensions(self):
+        probes = generate_probes(ports=[25, 80], directions=("outbound",))
+        assert len(probes) == 2 * len(DEFAULT_CONTENT)
+
+
+class TestInvariants:
+    def test_allow_all_violates_smtp_escape(self):
+        surface = enumerate_surface(AllowAll())
+        violations = check_invariants(surface)
+        names = {name for name, _outcome, _msg in violations}
+        assert "no-smtp-escape" in names
+        assert "no-blanket-forward" in names
+
+    def test_grum_policy_is_clean(self):
+        surface = enumerate_surface(GrumPolicy())
+        assert check_invariants(surface) == []
+
+    def test_dsl_grum_program_is_clean(self):
+        surface = enumerate_surface(DslPolicy(GRUM_PROGRAM))
+        assert check_invariants(surface) == []
+
+
+@pytest.mark.integration
+class TestLiveEnforcement:
+    def test_dsl_policy_enforced_without_mismatch(self):
+        summary, mismatches = verify_enforcement(
+            lambda: DslPolicy(GRUM_PROGRAM))
+        assert mismatches == []
+        assert summary["verdicts"].get("REFLECT", 0) > 0
+
+    def test_forward_policy_reaches_witness(self):
+        summary, mismatches = verify_enforcement(AllowAll)
+        assert mismatches == []
+        assert summary["witness_ports"], "forwards must reach the witness"

@@ -1,0 +1,39 @@
+"""§7.1 exploratory containment: the error-code decoding study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.error_codes import (
+    CONDITIONS,
+    FIRMWARE_ERROR_TABLE,
+    recovered_table,
+    run_condition,
+    run_error_code_study,
+)
+
+pytestmark = [pytest.mark.integration, pytest.mark.slow]
+
+
+class TestErrorCodeStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_error_code_study(duration=250)
+
+    def test_every_condition_produced_reports(self, study):
+        for condition, codes in study.observed.items():
+            assert codes, f"no reports observed under {condition}"
+
+    def test_full_firmware_table_recovered(self, study):
+        assert recovered_table(study) == FIRMWARE_ERROR_TABLE
+
+    def test_conditions_are_distinguishable(self, study):
+        codes = [code for code in study.recovered.values()]
+        assert len(set(codes)) == len(CONDITIONS), (
+            "each injected condition maps to a distinct internal code")
+
+    def test_single_condition_is_safe(self):
+        # run_condition asserts zero outside delivery internally; this
+        # re-runs one cell as an explicit safety check.
+        codes = run_condition("reject-at-rcpt", duration=200)
+        assert codes and set(codes) == {FIRMWARE_ERROR_TABLE["rcpt"]}

@@ -1,0 +1,169 @@
+"""Experiment harnesses: strictness matrix, classification, policy
+iteration, containment trade-off, scalability, raw iron."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.classification import (
+    fingerprint_sample,
+    run_split_personality,
+)
+from repro.experiments.containment_tradeoff import run_all_regimes
+from repro.experiments.policy_iteration import develop_policy
+from repro.experiments.rawiron_cycle import run_comparison
+from repro.experiments.scalability import (
+    run_cs_load,
+    run_gateway_load,
+    vlan_capacity_demo,
+)
+from repro.experiments.smtp_strictness import run_matrix
+from repro.malware.corpus import Sample
+
+pytestmark = [pytest.mark.integration, pytest.mark.slow]
+
+
+class TestSmtpStrictnessMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return run_matrix(duration=400)
+
+    def test_connection_level_healthy_everywhere(self, matrix):
+        # The deceptive part of the §7.1 lesson: sessions look fine
+        # regardless of strictness.
+        for cell in matrix.values():
+            assert cell.sessions > 20
+
+    def test_quirky_bot_starves_on_strict_sink(self, matrix):
+        assert matrix[("grum", "strict")].data_transfers == 0
+
+    def test_quirky_bot_fine_on_lenient_sink(self, matrix):
+        assert matrix[("grum", "lenient")].content_ratio > 0.9
+
+    def test_clean_bot_unaffected_by_strictness(self, matrix):
+        assert matrix[("megad", "strict")].content_ratio > 0.9
+        assert matrix[("megad", "lenient")].content_ratio > 0.9
+
+
+class TestClassification:
+    def test_families_have_distinct_fingerprints(self):
+        prints = {
+            family: fingerprint_sample(Sample(family), duration=120,
+                                       seed=50 + i)
+            for i, family in enumerate(
+                ("rustock", "grum", "megad", "waledac"))
+        }
+        for a in prints:
+            for b in prints:
+                if a != b:
+                    assert prints[a].similarity(prints[b]) < 0.5
+
+    def test_same_family_fingerprints_converge(self):
+        a = fingerprint_sample(Sample("grum"), duration=120, seed=60)
+        b = fingerprint_sample(Sample("grum", params={"variant": 9}),
+                               duration=120, seed=61)
+        assert a.similarity(b) > 0.9
+
+    def test_split_personality_shows_both_faces(self):
+        outcomes = run_split_personality(executions=8, duration=120)
+        assert "grum" in outcomes and "megad" in outcomes
+
+
+class TestPolicyIteration:
+    def test_grum_converges_with_zero_harm(self):
+        history = develop_policy("grum", duration=300)
+        assert history[-1].fully_alive
+        assert 2 <= len(history) <= 3
+        assert all(h.harm_outside == 0 for h in history)
+
+    def test_rustock_needs_an_extra_round(self):
+        history = develop_policy("rustock", duration=300)
+        assert history[-1].fully_alive
+        # Two distinct C&C shapes (beacon + campaign fetch) to learn.
+        assert len(history[-1].rules) >= 2
+        assert all(h.harm_outside == 0 for h in history)
+
+    def test_first_iteration_reveals_the_cnc_shape(self):
+        history = develop_policy("megad", duration=300)
+        first = history[0]
+        assert first.new_rule is not None
+        assert first.new_rule.port == 4443
+
+
+class TestContainmentTradeoff:
+    @pytest.fixture(scope="class")
+    def regimes(self):
+        return run_all_regimes(duration=600)
+
+    def test_unconstrained_maximizes_both(self, regimes):
+        unconstrained = regimes["unconstrained"]
+        assert unconstrained.harm_score > 100
+        assert unconstrained.behaviour_score > 100
+        assert unconstrained.inmates_blacklisted > 0
+
+    def test_isolation_minimizes_both(self, regimes):
+        isolation = regimes["isolation"]
+        assert isolation.harm_score == 0
+        assert isolation.families_active == 0
+
+    def test_static_rules_lose_most_behaviour(self, regimes):
+        botlab = regimes["botlab-static"]
+        gq = regimes["gq"]
+        assert botlab.families_active < gq.families_active
+        assert botlab.behaviour_score < gq.behaviour_score / 2
+
+    def test_gq_elicits_unconstrained_behaviour_at_zero_harm(self, regimes):
+        gq = regimes["gq"]
+        unconstrained = regimes["unconstrained"]
+        assert gq.harm_score == 0
+        assert gq.behaviour_score > unconstrained.behaviour_score * 0.8
+        assert gq.families_active == 4
+        assert gq.spam_harvested > 100
+
+
+class TestScalability:
+    def test_vlan_ceiling(self):
+        demo = vlan_capacity_demo()
+        assert demo["capacity"] == 4093
+        assert demo["allocated"] == 4093
+
+    def test_single_server_queues_grow_with_load(self):
+        light = run_cs_load(inmates=3, cluster_size=1, duration=150)
+        heavy = run_cs_load(inmates=12, cluster_size=1, duration=150)
+        assert heavy.mean_queue_delay > light.mean_queue_delay
+
+    def test_cluster_relieves_the_bottleneck(self):
+        single = run_cs_load(inmates=12, cluster_size=1, duration=150)
+        cluster = run_cs_load(inmates=12, cluster_size=4, duration=150)
+        assert cluster.mean_queue_delay < single.mean_queue_delay
+        # Sticky per-VLAN selection balances the population.
+        assert len(cluster.load_balance) == 4
+        assert min(cluster.load_balance) > 0
+
+    def test_gateway_carries_paper_operating_point(self):
+        result = run_gateway_load(subfarms=5, inmates_per=8,
+                                  flow_interval=5.0, duration=120)
+        assert result.flows_created > 5 * 8 * (120 / 5) * 0.5
+        assert result.packets_relayed > result.flows_created
+
+
+class TestRawIron:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return run_comparison(machines=4)
+
+    def test_network_cycle_about_six_minutes(self, comparison):
+        cycle = comparison["network-boot"].mean_cycle
+        assert 300 <= cycle <= 420  # "around 6 minutes"
+
+    def test_local_restore_about_ten_minutes(self, comparison):
+        cycle = comparison["local-partition"].mean_cycle
+        assert 500 <= cycle <= 700  # "around 10 minutes"
+
+    def test_local_restore_wins_for_the_pool(self, comparison):
+        assert (comparison["local-partition"].pool_turnaround
+                < comparison["network-boot"].pool_turnaround)
+
+    def test_every_machine_reimaged(self, comparison):
+        for result in comparison.values():
+            assert len(result.cycle_times) == 4

@@ -1,0 +1,80 @@
+"""Top-level Farm API: lifecycle, errors, misc plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import Farm, FarmConfig
+from repro.core.policy import DefaultDeny
+from repro.inmates.images import idle_image
+
+
+class TestFarmApi:
+    def test_package_reexports(self):
+        assert repro.Farm is Farm
+        assert repro.FarmConfig is FarmConfig
+        assert isinstance(repro.__version__, str)
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_duplicate_subfarm_name_rejected(self):
+        farm = Farm(FarmConfig(seed=1))
+        farm.create_subfarm("a")
+        with pytest.raises(ValueError):
+            farm.create_subfarm("a")
+
+    def test_run_respects_max_events(self):
+        farm = Farm(FarmConfig(seed=1))
+        sub = farm.create_subfarm("a")
+        sub.create_inmate(image_factory=idle_image())
+        farm.run(until=600, max_events=5)
+        assert farm.sim.events_processed == 5
+
+    def test_remove_inmate_releases_resources(self):
+        farm = Farm(FarmConfig(seed=1))
+        sub = farm.create_subfarm("a")
+        inmate = sub.create_inmate(image_factory=idle_image())
+        farm.run(until=60)
+        vlan = inmate.vlan
+        internal = sub.nat.internal_for(vlan)
+        assert internal is not None
+        sub.remove_inmate(vlan)
+        assert vlan not in sub.inmates
+        assert farm.controller.inmate(vlan) is None
+        assert sub.nat.internal_for(vlan) is None
+        assert farm.gateway.router_for_vlan(vlan) is None
+        # The VLAN returns to the pool (reused after the pool cycles
+        # around, like ephemeral ports — not immediately).
+        assert vlan not in farm.vlan_pool.allocated_ids()
+        replacement = sub.create_inmate(image_factory=idle_image())
+        assert replacement.vlan != vlan
+
+    def test_specific_vlan_request(self):
+        farm = Farm(FarmConfig(seed=1))
+        sub = farm.create_subfarm("a")
+        inmate = sub.create_inmate(image_factory=idle_image(), vlan=42)
+        assert inmate.vlan == 42
+        with pytest.raises(Exception):
+            sub.create_inmate(image_factory=idle_image(), vlan=42)
+
+    def test_policy_per_inmate_assignment(self):
+        farm = Farm(FarmConfig(seed=1))
+        sub = farm.create_subfarm("a")
+        policy = DefaultDeny()
+        inmate = sub.create_inmate(image_factory=idle_image(),
+                                   policy=policy)
+        assert sub.policy_map.resolve(inmate.vlan) is policy
+
+    def test_deterministic_replay(self):
+        """Same seed, same program -> byte-identical activity."""
+        def run():
+            farm = Farm(FarmConfig(seed=99))
+            sub = farm.create_subfarm("a")
+            sub.create_inmate(image_factory=idle_image())
+            farm.run(until=120)
+            return (farm.sim.events_processed,
+                    len(sub.router.trace.records),
+                    str(sub.nat.bindings()))
+
+        assert run() == run()

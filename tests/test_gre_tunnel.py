@@ -1,0 +1,104 @@
+"""GRE tunnels: donated address space (§7.2), end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import AllowAll
+from repro.farm import Farm, FarmConfig
+from repro.net.addresses import IPv4Address
+from repro.net.gre import PROTO_GRE, decapsulate, encapsulate
+from repro.net.packet import IPv4Packet, UDPDatagram
+from tests.test_containment_end_to_end import (
+    EXTERNAL_WEB_IP,
+    http_fetch_image,
+    http_server,
+)
+
+pytestmark = pytest.mark.integration
+
+DONATED = "198.51.99.0/24"
+POP_IP = "203.0.113.250"
+
+
+class TestGreWireFormat:
+    def test_round_trip(self):
+        inner = IPv4Packet(IPv4Address("1.2.3.4"), IPv4Address("5.6.7.8"),
+                           UDPDatagram(9, 10, b"inner payload"))
+        outer = encapsulate(inner, IPv4Address("10.0.0.1"),
+                            IPv4Address("10.0.0.2"))
+        assert outer.proto == PROTO_GRE
+        recovered = decapsulate(outer)
+        assert recovered is not None
+        assert recovered.src == inner.src and recovered.dst == inner.dst
+        assert recovered.udp.payload == b"inner payload"
+
+    def test_non_gre_rejected(self):
+        packet = IPv4Packet(IPv4Address("1.2.3.4"), IPv4Address("5.6.7.8"),
+                            UDPDatagram(9, 10, b"x"))
+        assert decapsulate(packet) is None
+
+
+def tiny_global_farm(seed=61):
+    """A farm whose native global space holds only two inmates, so the
+    third one must draw a tunneled address."""
+    return Farm(FarmConfig(
+        seed=seed,
+        global_networks=["198.18.0.0/30"],  # 2 usable addresses
+    ))
+
+
+class TestTunneledAddressSpace:
+    def test_pool_spills_into_donated_network(self):
+        farm = tiny_global_farm()
+        farm.add_gre_tunnel(DONATED, POP_IP)
+        sub = farm.create_subfarm("test")
+        from repro.inmates.images import idle_image
+
+        inmates = [sub.create_inmate(image_factory=idle_image())
+                   for _ in range(3)]
+        farm.run(until=90)
+        globals_ = [sub.nat.global_for(i.vlan) for i in inmates]
+        assert all(g is not None for g in globals_)
+        assert str(globals_[2]).startswith("198.51.99.")
+
+    def test_flow_through_tunnel_round_trips(self):
+        farm = tiny_global_farm()
+        endpoint, pop = farm.add_gre_tunnel(DONATED, POP_IP)
+        sub = farm.create_subfarm("test")
+        web = farm.add_external_host("webserver", EXTERNAL_WEB_IP)
+        served = http_server(web)
+
+        from repro.inmates.images import idle_image
+
+        # Two fillers exhaust the native /30...
+        for _ in range(2):
+            sub.create_inmate(image_factory=idle_image())
+        # ...so this one lives in donated space.
+        image, results = http_fetch_image()
+        tunneled = sub.create_inmate(image_factory=image, policy=AllowAll())
+        farm.run(until=180)
+
+        global_ip = sub.nat.global_for(tunneled.vlan)
+        assert str(global_ip).startswith("198.51.99.")
+        responses = [r for r in results if not isinstance(r, str)]
+        assert len(served) == 1, "request must reach the web server"
+        assert responses and responses[0].status == 200
+        # Both directions actually used the tunnel.
+        assert endpoint.packets_encapsulated > 0
+        assert pop.ingress_encapsulated > 0
+        assert pop.egress_decapsulated == endpoint.packets_encapsulated
+
+    def test_native_addresses_bypass_tunnel(self):
+        farm = tiny_global_farm()
+        endpoint, pop = farm.add_gre_tunnel(DONATED, POP_IP)
+        sub = farm.create_subfarm("test")
+        web = farm.add_external_host("webserver", EXTERNAL_WEB_IP)
+        http_server(web)
+        image, results = http_fetch_image()
+        native = sub.create_inmate(image_factory=image, policy=AllowAll())
+        farm.run(until=180)
+        assert str(sub.nat.global_for(native.vlan)).startswith("198.18.0.")
+        responses = [r for r in results if not isinstance(r, str)]
+        assert responses and responses[0].status == 200
+        assert endpoint.packets_encapsulated == 0

@@ -1,0 +1,86 @@
+"""The honeycrawler role: client-side infection via web drive-by."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.farm import Farm, FarmConfig
+from repro.inmates.images import honeycrawler_image
+from repro.malware.corpus import Sample
+from repro.policies.crawler import HoneycrawlerPolicy
+from repro.world.builder import ExternalWorld
+from repro.world.driveby import BenignSite, DrivebySite
+
+pytestmark = pytest.mark.integration
+
+
+def build_crawl_farm(seed=111):
+    farm = Farm(FarmConfig(seed=seed))
+    sub = farm.create_subfarm("crawl")
+    world = ExternalWorld(farm)
+    world.add_standard_victims(domains=2, mailboxes_per_domain=20)
+    world.add_http_cnc("grum", "grum-cc.example",
+                       world.default_campaign("grum", batch_size=10,
+                                              send_interval=1.0),
+                       path_prefix="/grum/")
+
+    benign_hosts = []
+    for i in range(2):
+        host = farm.add_external_host(f"benign{i}", str(world.allocate_ip()))
+        world.dns.add_a(f"benign{i}.example", host.ip)
+        benign_hosts.append(BenignSite(host))
+
+    evil_host = farm.add_external_host("evil", str(world.allocate_ip()))
+    world.dns.add_a("warez.example", evil_host.ip)
+    driveby = DrivebySite(evil_host, payload=Sample("grum"))
+
+    sub.add_catchall_sink()
+    sink = sub.add_smtp_sink()
+    urls = ["benign0.example", "benign1.example", "warez.example"]
+    infections = []
+    inmate = sub.create_inmate(
+        image_factory=honeycrawler_image(
+            urls, visit_interval=10.0,
+            on_infection=lambda h, s: infections.append(s)),
+        policy=HoneycrawlerPolicy(),
+    )
+    return farm, sub, world, benign_hosts, driveby, infections, sink, inmate
+
+
+class TestHoneycrawler:
+    def test_crawl_reaches_sites_and_driveby_infects(self):
+        (farm, sub, world, benign, driveby, infections, sink,
+         inmate) = build_crawl_farm()
+        farm.run(until=600)
+        # The crawl itself went out (the experiment's intent)...
+        assert all(site.page_hits >= 1 for site in benign)
+        assert driveby.page_hits >= 1
+        # ...the drive-by chain completed...
+        assert driveby.exploit_hits == 1
+        assert driveby.payload_downloads == 1
+        assert len(infections) == 1
+        assert infections[0].family == "grum"
+        assert inmate.host.crawler_state["infected"]
+
+    def test_post_infection_activity_is_contained(self):
+        (farm, sub, world, benign, driveby, infections, sink,
+         inmate) = build_crawl_farm()
+        farm.run(until=900)
+        specimen = infections[0]
+        # The payload came alive: its C&C fetch is NOT a crawl-shaped
+        # request, so it was reflected — and inspectable at the sink.
+        catch_all = sub.sinks["sink"]
+        assert any(b"GET /grum/spm" in bytes(record.payload)
+                   for record in catch_all.records)
+        # The spam run is contained too.
+        assert specimen.stats.get("smtp_sessions", 0) == 0 or \
+            world.total_spam_delivered() == 0
+        assert world.total_spam_delivered() == 0
+
+    def test_infected_crawler_stops_crawling(self):
+        (farm, sub, world, benign, driveby, infections, sink,
+         inmate) = build_crawl_farm()
+        farm.run(until=600)
+        visited = inmate.host.crawler_state["visited"]
+        # warez.example was the last visit; infection halted the crawl.
+        assert visited[-1] == "warez.example"

@@ -1,0 +1,68 @@
+"""§7.1 operational experiences as executable scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.storm_infiltration import run_storm
+from repro.experiments.waledac_fidelity import run_waledac
+
+pytestmark = [pytest.mark.integration, pytest.mark.slow]
+
+
+class TestWaledacBlacklisting:
+    """'Mysterious blacklisting' / 'Satisfying fidelity'."""
+
+    def test_permitted_test_message_gets_inmate_blacklisted(self):
+        result = run_waledac("test-message", duration=600)
+        # Exactly the paper's surprise: one innocuous-looking test
+        # message, and the CBL lists the inmate.
+        assert result.spam_delivered_outside >= 1
+        assert result.inmate_blacklisted
+
+    def test_plain_sink_keeps_addresses_clean_but_loses_the_bot(self):
+        result = run_waledac("plain-sink", duration=600)
+        assert not result.inmate_blacklisted
+        assert result.spam_delivered_outside == 0
+        assert not result.bot_alive
+        assert result.sink_data_transfers == 0
+        assert result.banner_rejections >= 1
+
+    def test_banner_grabbing_keeps_bot_alive_and_contained(self):
+        result = run_waledac("banner-grabbing", duration=600)
+        assert result.bot_alive
+        assert result.sink_data_transfers > 20
+        assert result.spam_delivered_outside == 0
+        assert not result.inmate_blacklisted
+        assert result.banner_fetches >= 1
+
+    def test_fidelity_dominates_for_harvest_volume(self):
+        plain = run_waledac("plain-sink", duration=600)
+        grabbing = run_waledac("banner-grabbing", duration=600)
+        assert grabbing.sink_data_transfers > plain.sink_data_transfers
+
+
+class TestStormUnexpectedVisitors:
+    """'Unexpected visitors': iframe injection through proxy bots."""
+
+    def test_tight_policy_catches_ftp_jobs_at_sink(self):
+        result = run_storm("tight", duration=600)
+        assert result.overlay_connections > 0, "reachability preserved"
+        assert result.socks_jobs > 0, "jobs arrived through SOCKS"
+        assert result.ftp_attempts_at_sink > 0, "the sink saw the FTP"
+        assert result.jobs_succeeded == 0
+        assert not result.site_defaced
+
+    def test_loose_policy_lets_the_attack_through(self):
+        result = run_storm("loose", duration=600)
+        assert result.jobs_succeeded > 0
+        assert result.site_defaced
+        assert result.ftp_attempts_at_sink == 0
+
+    def test_postures_diverge_only_in_harm(self):
+        tight = run_storm("tight", duration=600)
+        loose = run_storm("loose", duration=600)
+        # Same botnet activity either way...
+        assert tight.overlay_connections == loose.overlay_connections
+        # ...but only tight containment prevents the harm.
+        assert tight.jobs_succeeded < loose.jobs_succeeded

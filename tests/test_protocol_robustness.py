@@ -1,0 +1,123 @@
+"""Robustness fuzzing: protocol engines fed adversarial bytes.
+
+Everything facing inmate traffic parses attacker-controlled input;
+none of it may crash, hang, or mis-frame.  Hypothesis drives random
+byte streams (whole and chunked) through every engine.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.shim import ShimError, peek_length
+from repro.net.dns import DnsMessage
+from repro.net.ftp import FtpServerEngine
+from repro.net.http import HttpParser
+from repro.net.irc import IrcNetwork, IrcServerEngine
+from repro.net.smtp import SmtpServerEngine, Strictness
+from repro.net.socks import Socks4Reply, Socks4Request
+
+junk = st.binary(max_size=300)
+junk_chunks = st.lists(st.binary(max_size=60), max_size=10)
+
+
+class TestEnginesSurviveGarbage:
+    @settings(max_examples=60)
+    @given(junk_chunks)
+    def test_smtp_server(self, chunks):
+        out = []
+        engine = SmtpServerEngine(send=out.append,
+                                  strictness=Strictness.LENIENT)
+        for chunk in chunks:
+            engine.feed(chunk)
+        assert out, "greeting banner must always have been sent"
+
+    @settings(max_examples=60)
+    @given(junk_chunks)
+    def test_smtp_server_strict(self, chunks):
+        out = []
+        engine = SmtpServerEngine(send=out.append,
+                                  strictness=Strictness.STRICT)
+        for chunk in chunks:
+            engine.feed(chunk)
+
+    @settings(max_examples=60)
+    @given(junk_chunks)
+    def test_http_request_parser(self, chunks):
+        parser = HttpParser("request")
+        for chunk in chunks:
+            try:
+                parser.feed(chunk)
+            except ValueError:
+                return  # malformed framing rejected loudly is fine
+
+    @settings(max_examples=60)
+    @given(junk_chunks)
+    def test_ftp_server(self, chunks):
+        out = []
+        engine = FtpServerEngine(send=out.append, accounts={"u": "p"},
+                                 files={"f": b"x"})
+        for chunk in chunks:
+            engine.feed(chunk)
+        assert out
+
+    @settings(max_examples=60)
+    @given(junk_chunks)
+    def test_irc_server(self, chunks):
+        network = IrcNetwork()
+        out = []
+        engine = IrcServerEngine(network, out.append)
+        for chunk in chunks:
+            engine.feed(chunk)
+
+    @settings(max_examples=60)
+    @given(junk)
+    def test_dns_parser(self, data):
+        try:
+            DnsMessage.from_bytes(data)
+        except ValueError:
+            pass
+
+    @settings(max_examples=60)
+    @given(junk)
+    def test_socks_parsers(self, data):
+        try:
+            Socks4Request.parse(data)
+        except ValueError:
+            pass
+        Socks4Reply.parse(data)
+
+    @settings(max_examples=60)
+    @given(junk)
+    def test_shim_peek(self, data):
+        try:
+            peek_length(data)
+        except ShimError:
+            pass
+
+
+class TestFramingUnderFragmentation:
+    @settings(max_examples=30)
+    @given(st.integers(min_value=1, max_value=7))
+    def test_smtp_command_split_arbitrarily(self, chunk_size):
+        out = []
+        engine = SmtpServerEngine(send=out.append,
+                                  on_message=lambda t: out.append(b"MSG"))
+        wire = (b"HELO x\r\nMAIL FROM:<a@b.c>\r\nRCPT TO:<d@e.f>\r\n"
+                b"DATA\r\nhello\r\n.\r\n")
+        for offset in range(0, len(wire), chunk_size):
+            engine.feed(wire[offset:offset + chunk_size])
+        assert b"MSG" in out
+        assert len(engine.transactions) == 1
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=1, max_value=7))
+    def test_irc_registration_split_arbitrarily(self, chunk_size):
+        network = IrcNetwork()
+        out = []
+        engine = IrcServerEngine(network, out.append)
+        wire = b"NICK bot1\r\nUSER bot1 0 * :b\r\nJOIN #cmd\r\n"
+        for offset in range(0, len(wire), chunk_size):
+            engine.feed(wire[offset:offset + chunk_size])
+        assert engine.registered
+        assert "bot1" in network.channel("#cmd").members

@@ -1,0 +1,124 @@
+"""§4 versatility: IRC C&C and DGA families, hosted without any
+farm redesign."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.farm import Farm, FarmConfig
+from repro.inmates.images import autoinfect_image
+from repro.malware.corpus import Sample
+from repro.malware.ircbot import dga_domains
+from repro.policies.ircbot import DgaBotPolicy, IrcBotPolicy
+from repro.world.builder import ExternalWorld
+from repro.world.irc_cnc import IrcCncServer, IrcHerder
+
+pytestmark = pytest.mark.integration
+
+
+class TestDgaAlgorithm:
+    def test_deterministic_per_seed_and_day(self):
+        assert dga_domains("s", 100, 5) == dga_domains("s", 100, 5)
+        assert dga_domains("s", 100, 5) != dga_domains("s", 101, 5)
+        assert dga_domains("a", 100, 5) != dga_domains("b", 100, 5)
+
+    def test_domains_are_valid_labels(self):
+        for domain in dga_domains("seed", 1, 50):
+            label = domain.split(".")[0]
+            assert len(label) == 12
+            assert all(c in "0123456789abcdef" for c in label)
+
+
+def build_irc_farm(seed=101):
+    farm = Farm(FarmConfig(seed=seed))
+    sub = farm.create_subfarm("ircstudy")
+    world = ExternalWorld(farm)
+    world.add_standard_victims(domains=2, mailboxes_per_domain=20)
+
+    irc_host = farm.add_external_host("irc-cnc",
+                                      str(world.allocate_ip("198.51.100.0")))
+    world.dns.add_a("irc-cnc.example", irc_host.ip)
+    server = IrcCncServer(irc_host)
+    herder = IrcHerder(farm.sim, server,
+                       world.default_campaign("ircbot", batch_size=10,
+                                              send_interval=1.0),
+                       command_interval=90.0)
+    herder.start()
+
+    sub.add_catchall_sink()
+    sink = sub.add_smtp_sink()
+    policy = IrcBotPolicy()
+    inmate = sub.create_inmate(image_factory=autoinfect_image(),
+                               policy=policy)
+    policy.set_sample(inmate.vlan, inmate.vlan, Sample("ircbot"))
+    return farm, sub, world, server, herder, inmate, sink
+
+
+class TestIrcBotWorkflow:
+    def test_irc_cnc_forwarded_and_spam_contained(self):
+        farm, sub, world, server, herder, inmate, sink = build_irc_farm()
+        farm.run(until=600)
+        specimen = getattr(inmate.host, "specimen", None)
+        assert specimen is not None and specimen.family == "ircbot"
+        # The bot registered and sat in the channel...
+        assert server.connections_accepted >= 1
+        assert "#cmd" in server.network.channels
+        # ...received herder commands...
+        assert herder.commands_issued >= 1
+        assert specimen.stats.get("irc_commands", 0) >= 1
+        # ...and its spam never escaped.
+        assert world.total_spam_delivered() == 0
+        assert sink.data_transfers > 10
+        counts = sub.containment_server.verdict_counts
+        assert counts.get("FORWARD", 0) >= 1   # the IRC connection
+        assert counts.get("REFLECT", 0) > 10   # SMTP
+
+    def test_irc_connection_stays_open_across_commands(self):
+        farm, sub, world, server, herder, inmate, sink = build_irc_farm()
+        farm.run(until=700)
+        specimen = getattr(inmate.host, "specimen", None)
+        # Multiple commands, but only one forwarded IRC flow: the
+        # channel connection persists (this is what makes IRC C&C
+        # different from the polling HTTP families).
+        assert specimen.stats.get("irc_commands", 0) >= 2
+        assert sub.containment_server.verdict_counts.get("FORWARD") == 1
+
+
+class TestDgaBotWorkflow:
+    def test_dga_walk_finds_registered_domain(self):
+        farm = Farm(FarmConfig(seed=103))
+        sub = farm.create_subfarm("dgastudy")
+        world = ExternalWorld(farm)
+        world.add_standard_victims(domains=2, mailboxes_per_domain=20)
+
+        # The botmaster registered the 8th domain of the day.
+        day, seed_text = 13337, "gq-dga-v1"
+        domains = dga_domains(seed_text, day, 32)
+        registered = domains[7]
+        world.add_http_cnc("dgabot", registered,
+                           world.default_campaign("dgabot", batch_size=10,
+                                                  send_interval=1.0),
+                           path_prefix="/dga/")
+
+        sub.add_catchall_sink()
+        sink = sub.add_smtp_sink()
+        policy = DgaBotPolicy()
+        inmate = sub.create_inmate(image_factory=autoinfect_image(),
+                                   policy=policy)
+        policy.set_sample(inmate.vlan, inmate.vlan,
+                          Sample("dgabot", params={"epoch_day": day,
+                                                   "dga_seed": seed_text}))
+        farm.run(until=600)
+
+        specimen = getattr(inmate.host, "specimen", None)
+        assert specimen is not None
+        # The NXDOMAIN storm preceding each hit: exactly 7 unregistered
+        # names are walked before the registered 8th, every fetch round.
+        hits = specimen.stats.get("dga_hits", 0)
+        assert hits >= 1
+        assert specimen.stats.get("dga_nxdomains", 0) == 7 * hits
+        assert sub.resolver.nxdomains >= 7
+        # Then normal C&C + contained spam.
+        assert specimen.stats.get("cnc_fetches", 0) >= 1
+        assert world.total_spam_delivered() == 0
+        assert sink.data_transfers > 10
