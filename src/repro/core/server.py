@@ -81,6 +81,7 @@ class _ServerFlowProxy(FlowProxy):
 
         if self._client.is_open or self._client.state is TcpState.SYN_RCVD:
             self._client.send(data)
+            self._server._m_bytes_to_client.inc(len(data))
 
     def send_to_server(self, data: bytes) -> None:
         if self._upstream is None:
@@ -89,6 +90,7 @@ class _ServerFlowProxy(FlowProxy):
             self._upstream.send(data)
         else:
             self._upstream_queue.append(data)
+        self._server._m_bytes_to_server.inc(len(data))
 
     def connect_out(self, ip: Optional[IPv4Address] = None,
                     port: Optional[int] = None) -> None:
@@ -142,6 +144,7 @@ class _CsConnection:
         self.decision: Optional[ContainmentDecision] = None
         self.rewriter: Optional[Rewriter] = None
         self.proxy: Optional[_ServerFlowProxy] = None
+        self.shim_seen_at: Optional[float] = None
 
         conn.on_data = self._on_data
         conn.on_remote_close = self._on_remote_close
@@ -164,6 +167,7 @@ class _CsConnection:
             except ShimError:
                 conn.abort()
                 return
+            self.shim_seen_at = self.server.sim.now
             self.policy, self.ctx = self.server._resolve(self.shim)
             decision = self.policy.decide(self.ctx)
             if decision is not None:
@@ -181,7 +185,8 @@ class _CsConnection:
             return  # client vanished while queued
         self.decision = decision
         assert self.shim is not None and self.ctx is not None
-        self.server._record(self.shim, decision)
+        self.server._record(self.shim, decision,
+                            received_at=self.shim_seen_at)
         response = ResponseShim.from_decision(self.shim.flow, decision)
         self.conn.send(response.to_bytes())
         if decision.verdict & Verdict.REWRITE:
@@ -237,6 +242,20 @@ class ContainmentServer:
         self.verdict_counts: Dict[str, int] = {}
         self.trigger_engine = None  # set via attach_triggers()
 
+        tel = sim.telemetry
+        self._m_verdicts = tel.counter(
+            "cs.verdicts", "Verdicts issued, by type")
+        self._h_latency = tel.histogram(
+            "cs.verdict.latency",
+            "Virtual seconds from shim receipt to verdict"
+        ).bind(server=host.name)
+        self._m_bytes_to_server = tel.counter(
+            "cs.proxy.bytes_to_server", "REWRITE bytes proxied onward"
+        ).bind(server=host.name)
+        self._m_bytes_to_client = tel.counter(
+            "cs.proxy.bytes_to_client", "REWRITE bytes proxied back"
+        ).bind(server=host.name)
+
         # Processing model for scalability studies (§7.2): each
         # verdict occupies the (single-CPU) server for service_time
         # seconds; concurrent flows queue.
@@ -291,11 +310,15 @@ class ContainmentServer:
         return policy, ctx
 
     def _record(self, shim: RequestShim,
-                decision: ContainmentDecision) -> None:
+                decision: ContainmentDecision,
+                received_at: Optional[float] = None) -> None:
         record = VerdictRecord(self.sim.now, shim.vlan_id, shim.flow, decision)
         self.verdict_log.append(record)
         key = decision.verdict.label
         self.verdict_counts[key] = self.verdict_counts.get(key, 0) + 1
+        self._m_verdicts.inc(server=self.host.name, verdict=key)
+        if received_at is not None:
+            self._h_latency.observe(self.sim.now - received_at)
         if self.trigger_engine is not None:
             self.trigger_engine.flow_event(shim.vlan_id, self.sim.now,
                                            shim.flow)

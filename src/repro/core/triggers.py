@@ -146,6 +146,8 @@ class TriggerEngine:
         self._sweeper = Process(sim, check_interval, self._sweep,
                                 label="trigger-sweep")
         self._sweeper_started = False
+        self._m_fired = sim.telemetry.counter(
+            "triggers.fired", "Trigger firings, by life-cycle action")
 
     def add(self, spec: TriggerSpec, vlans: Set[int]) -> None:
         """Install a rule for a set of VLAN IDs."""
@@ -208,4 +210,5 @@ class TriggerEngine:
         self.firings.append(
             TriggerFiring(self.sim.now, vlan, spec.action, spec)
         )
+        self._m_fired.inc(action=spec.action)
         self.lifecycle(spec.action, vlan)

@@ -57,6 +57,9 @@ class FarmConfig:
         safety_max_flows_per_window: int = 100000,
         safety_max_flows_per_destination: int = 50000,
         safety_window: float = 60.0,
+        telemetry: bool = False,
+        telemetry_snapshot_interval: Optional[float] = None,
+        profile_callbacks: bool = False,
     ) -> None:
         self.seed = seed
         # Four /24s for the inmate population, one for control (§6.7).
@@ -72,6 +75,9 @@ class FarmConfig:
         self.safety_max_flows_per_window = safety_max_flows_per_window
         self.safety_max_flows_per_destination = safety_max_flows_per_destination
         self.safety_window = safety_window
+        self.telemetry = telemetry
+        self.telemetry_snapshot_interval = telemetry_snapshot_interval
+        self.profile_callbacks = profile_callbacks
 
 
 class Subfarm:
@@ -93,11 +99,13 @@ class Subfarm:
         internal_pool = AddressPool([self.internal_network],
                                     reserved=[self.gateway_ip])
         self.nat = NatTable(internal_pool, farm.global_pool,
-                            inbound_mode=farm.config.inbound_mode)
+                            inbound_mode=farm.config.inbound_mode,
+                            telemetry=sim.telemetry, subfarm=name)
         self.safety = SafetyFilter(
             farm.config.safety_max_flows_per_window,
             farm.config.safety_max_flows_per_destination,
             farm.config.safety_window,
+            telemetry=sim.telemetry, subfarm=name,
         )
 
         self.cs_ip = IPv4Address(f"10.3.{index}.1")
@@ -316,6 +324,20 @@ class Farm:
         self.config = config or FarmConfig()
         self.sim = Simulator(seed=self.config.seed)
 
+        # Telemetry must attach before any component binds instruments:
+        # everything downstream discovers it through sim.telemetry.
+        self.telemetry_snapshots: List[dict] = []
+        if self.config.telemetry:
+            from repro.obs.telemetry import Telemetry
+
+            self.sim.attach_telemetry(
+                Telemetry(clock=lambda: self.sim.now),
+                profile_callbacks=self.config.profile_callbacks,
+            )
+            interval = self.config.telemetry_snapshot_interval
+            if interval is not None and interval > 0:
+                self._schedule_snapshot(interval)
+
         self.backbone = Router(self.sim, "internet")
         self.gateway = Gateway(self.sim)
         self.inmate_switch = Switch(self.sim, "inmate-net")
@@ -399,6 +421,29 @@ class Farm:
             router = self.gateway.router_for_vlan(vlan)
             if router is not None:
                 router.forget_inmate(vlan)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    @property
+    def telemetry(self):
+        """The farm-wide telemetry domain (a no-op stub when the
+        ``telemetry`` config flag is off)."""
+        return self.sim.telemetry
+
+    def telemetry_snapshot(self, include_traces: bool = True) -> dict:
+        """Capture a point-in-time snapshot of every metric, trace,
+        and hub event (see repro.obs.export)."""
+        from repro.obs.export import snapshot
+
+        return snapshot(self.sim.telemetry, include_traces=include_traces)
+
+    def _schedule_snapshot(self, interval: float) -> None:
+        def capture() -> None:
+            self.telemetry_snapshots.append(self.telemetry_snapshot())
+            self.sim.schedule(interval, capture, label="telemetry-snapshot")
+
+        self.sim.schedule(interval, capture, label="telemetry-snapshot")
 
     # ------------------------------------------------------------------
     def run(self, until: float, max_events: Optional[int] = None) -> float:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.net.addresses import IPv4Address, MacAddress
+from repro.obs.telemetry import NULL_TELEMETRY
 
 
 class BridgeEntry:
@@ -40,17 +41,26 @@ class BridgeEntry:
 class LearningBridge:
     """Per-VLAN inmate learning table."""
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry=None, subfarm: str = "") -> None:
         self._by_vlan: Dict[int, BridgeEntry] = {}
         self._vlan_by_ip: Dict[IPv4Address, int] = {}
+        telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._m_learned = telemetry.counter(
+            "gw.bridge.learned", "New (VLAN, MAC) entries"
+        ).bind(subfarm=subfarm)
+        self._m_observations = telemetry.counter(
+            "gw.bridge.observations", "Frames observed by the bridge"
+        ).bind(subfarm=subfarm)
 
     def learn(self, vlan: int, mac: MacAddress, now: float,
               ip: Optional[IPv4Address] = None) -> BridgeEntry:
         """Record an observation of traffic from an inmate."""
+        self._m_observations.inc()
         entry = self._by_vlan.get(vlan)
         if entry is None or entry.mac != mac:
             entry = BridgeEntry(vlan, mac, now)
             self._by_vlan[vlan] = entry
+            self._m_learned.inc()
         entry.last_seen = now
         entry.frames += 1
         if ip is not None and ip.value != 0:

@@ -46,6 +46,15 @@ class Gateway:
         self.frames_received = 0
         self.frames_unroutable = 0
 
+        telemetry = sim.telemetry
+        self._m_frames = telemetry.counter(
+            "gw.frames.received", "Frames hitting the gateway").bind()
+        self._m_unroutable = telemetry.counter(
+            "gw.frames.unroutable", "Frames with no owning subfarm").bind()
+        self._m_floods = telemetry.counter(
+            "gw.bridge.floods",
+            "VLAN deliveries broadcast for lack of a learned MAC").bind()
+
         # GRE tunnels connecting donated address space (§7.2).
         self.tunnels: List = []
 
@@ -101,6 +110,8 @@ class Gateway:
             learned = router.bridge.mac_for(vlan)
             if learned is not None:
                 dst_mac = learned
+            else:
+                self._m_floods.inc()
         frame = EthernetFrame(self.mac, dst_mac, packet, vlan=vlan,
                               ethertype=ETHERTYPE_IPV4)
         if router is not None:
@@ -112,6 +123,7 @@ class Gateway:
         port = self._service_ports.get(service_ip)
         if port is None:
             self.frames_unroutable += 1
+            self._m_unroutable.inc()
             return
         mac = self._service_macs[service_ip]
         frame = EthernetFrame(self.mac, mac, packet,
@@ -144,6 +156,7 @@ class Gateway:
     # ------------------------------------------------------------------
     def receive_frame(self, frame: EthernetFrame, port: Port) -> None:
         self.frames_received += 1
+        self._m_frames.inc()
         kind = self._port_kinds.get(port)
         if frame.ethertype == ETHERTYPE_ARP:
             self._proxy_arp(frame, port)
@@ -154,6 +167,7 @@ class Gateway:
             router = self._router_by_vlan.get(frame.vlan)
             if router is None:
                 self.frames_unroutable += 1
+                self._m_unroutable.inc()
                 return
             router.inmate_frame(frame, frame.vlan)
         elif kind == "upstream":
@@ -172,6 +186,7 @@ class Gateway:
                     router.upstream_packet(packet)
                     return
             self.frames_unroutable += 1
+            self._m_unroutable.inc()
         elif kind == "service":
             router = self._router_for_service_port(port)
             if router is not None:
@@ -180,6 +195,7 @@ class Gateway:
                 router.service_frame(frame)
             else:
                 self.frames_unroutable += 1
+                self._m_unroutable.inc()
 
     def _ip_for_port(self, port: Port) -> Optional[IPv4Address]:
         for ip, candidate in self._service_ports.items():

@@ -14,6 +14,7 @@ import enum
 from typing import Dict, Iterator, List, Optional
 
 from repro.net.addresses import IPv4Address, IPv4Network
+from repro.obs.telemetry import NULL_TELEMETRY
 
 
 class InboundMode(enum.Enum):
@@ -91,7 +92,8 @@ class NatTable:
 
     def __init__(self, internal_pool: AddressPool,
                  global_pool: AddressPool,
-                 inbound_mode: InboundMode = InboundMode.FORWARD) -> None:
+                 inbound_mode: InboundMode = InboundMode.FORWARD,
+                 telemetry=None, subfarm: str = "") -> None:
         self.internal_pool = internal_pool
         self.global_pool = global_pool
         self.inbound_mode = inbound_mode
@@ -99,6 +101,24 @@ class NatTable:
         self._global_by_vlan: Dict[int, IPv4Address] = {}
         self._vlan_by_internal: Dict[IPv4Address, int] = {}
         self._vlan_by_global: Dict[IPv4Address, int] = {}
+        telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._m_binds = telemetry.counter(
+            "gw.nat.binds", "Inmate address bindings created"
+        ).bind(subfarm=subfarm)
+        self._g_bindings = telemetry.gauge(
+            "gw.nat.bindings", "Live VLAN->address bindings"
+        ).bind(subfarm=subfarm)
+        self._g_pool_used = telemetry.gauge(
+            "gw.nat.pool.used", "Global addresses allocated"
+        ).bind(subfarm=subfarm)
+        self._g_pool_capacity = telemetry.gauge(
+            "gw.nat.pool.capacity", "Global addresses in the pool"
+        ).bind(subfarm=subfarm)
+
+    def _update_pool_gauges(self) -> None:
+        self._g_bindings.set(len(self._internal_by_vlan))
+        self._g_pool_used.set(self.global_pool.allocated)
+        self._g_pool_capacity.set(self.global_pool.capacity)
 
     # ------------------------------------------------------------------
     def bind(self, vlan: int) -> IPv4Address:
@@ -111,6 +131,8 @@ class NatTable:
         self._global_by_vlan[vlan] = global_ip
         self._vlan_by_internal[internal] = vlan
         self._vlan_by_global[global_ip] = vlan
+        self._m_binds.inc()
+        self._update_pool_gauges()
         return internal
 
     def unbind(self, vlan: int) -> None:
@@ -122,6 +144,7 @@ class NatTable:
         if global_ip is not None:
             del self._vlan_by_global[global_ip]
             self.global_pool.release(global_ip)
+        self._update_pool_gauges()
 
     # ------------------------------------------------------------------
     def internal_for(self, vlan: int) -> Optional[IPv4Address]:

@@ -119,7 +119,8 @@ class SubfarmRouter:
         self._emit_upstream = emit_upstream
         self.control_pool = control_pool
 
-        self.bridge = LearningBridge()
+        self.telemetry = sim.telemetry
+        self.bridge = LearningBridge(telemetry=self.telemetry, subfarm=name)
         self.trace = PacketTrace(f"{name}-inmate-side")
 
         # Infra services reachable without containment (the restricted
@@ -159,6 +160,42 @@ class SubfarmRouter:
             "packets_relayed": 0,
             "dhcp_leases": 0,
         }
+
+        # Telemetry: bound cells mirroring the counters dict, the
+        # per-verdict flow counter (bound lazily — label set depends on
+        # the decision), the shim round-trip histogram, and per-flow
+        # trace state keyed by mux port (cleaned up in _evict).
+        tel = self.telemetry
+        self._m_flows_created = tel.counter(
+            "router.flows.created", "Flows entering containment"
+        ).bind(subfarm=name)
+        self._m_flows_refused = tel.counter(
+            "router.flows.refused", "Flows refused by the safety filter"
+        ).bind(subfarm=name)
+        self._m_shims_injected = tel.counter(
+            "router.shims.injected", "Request shims sent to the CS"
+        ).bind(subfarm=name)
+        self._m_shims_stripped = tel.counter(
+            "router.shims.stripped", "Response shims parsed and removed"
+        ).bind(subfarm=name)
+        self._m_handoffs = tel.counter(
+            "router.handoffs", "Flows handed off to their destination"
+        ).bind(subfarm=name)
+        self._m_packets = tel.counter(
+            "router.packets.relayed", "Packets relayed through the router"
+        ).bind(subfarm=name)
+        self._m_dhcp = tel.counter(
+            "service.dhcp.leases", "DHCP leases acknowledged"
+        ).bind(subfarm=name)
+        self._m_verdicts = tel.counter(
+            "router.flows.verdict",
+            "Containment verdicts applied, by verdict and protocol")
+        self._h_shim_rtt = tel.histogram(
+            "router.shim.rtt",
+            "Virtual seconds from flow creation to verdict")
+        self._shim_spans: Dict[int, object] = {}
+        self._proxy_spans: Dict[int, object] = {}
+        self._trace_ids: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     # Public queries
@@ -339,6 +376,7 @@ class SubfarmRouter:
                 router=self.gateway_ip, dns=self.dns_ip or self.gateway_ip,
             )
             self.counters["dhcp_leases"] += 1
+            self._m_dhcp.inc()
         else:
             return
         out = IPv4Packet(
@@ -378,6 +416,14 @@ class SubfarmRouter:
             self._flows.append(record)
             self.flow_log.append(FlowLogEntry(self.sim.now, record))
             self.counters["flows_refused"] += 1
+            self._m_flows_refused.inc()
+            if self.telemetry.enabled:
+                trace_id = (f"{self.name}/vlan{vlan}/refused"
+                            f"/t{self.sim.now:.6f}")
+                self.telemetry.point(
+                    trace_id, "flow.safety", subfarm=self.name,
+                    vlan=str(vlan), admitted="false",
+                    destination=str(key.resp_ip))
             return
 
         mux = self._allocate_mux()
@@ -388,11 +434,29 @@ class SubfarmRouter:
         self._arm_housekeeping()
         self._flows.append(record)
         self.counters["flows_created"] += 1
+        self._m_flows_created.inc()
         self._by_mux[mux] = record
         self._by_nonce[nonce] = record
         # Client-side aliases (as the originator addresses the flow).
         self._index[key] = record
         self._index[key.reversed()] = record
+
+        if self.telemetry.enabled:
+            proto = "tcp" if packet.proto == PROTO_TCP else "udp"
+            trace_id = (f"{self.name}/vlan{vlan}/mux{mux}"
+                        f"/t{self.sim.now:.6f}")
+            self._trace_ids[mux] = trace_id
+            self.telemetry.point(
+                trace_id, "flow.bridge", subfarm=self.name,
+                vlan=str(vlan), proto=proto,
+                destination=str(key.resp_ip))
+            if inmate_is_originator:
+                self.telemetry.point(
+                    trace_id, "flow.safety", subfarm=self.name,
+                    vlan=str(vlan), admitted="true")
+            self._shim_spans[mux] = self.telemetry.span(
+                trace_id, "flow.shim_rtt", subfarm=self.name,
+                vlan=str(vlan), proto=proto)
 
         if packet.proto == PROTO_TCP:
             record.client_isn = packet.tcp.seq
@@ -410,6 +474,7 @@ class SubfarmRouter:
         out.ack = seq_add(out.ack, record.s2c_rem) if out.has_ack else 0
         packet = IPv4Packet(record.orig.orig_ip, record.cs_ip, out)
         self.counters["packets_relayed"] += 1
+        self._m_packets.inc()
         self._emit_to_service(record.cs_ip, packet)
 
     def _inject_request_shim(self, record: FlowRecord) -> None:
@@ -424,6 +489,7 @@ class SubfarmRouter:
         record.c2s_inj = len(payload)
         record.shim_injected = True
         self.counters["shims_injected"] += 1
+        self._m_shims_injected.inc()
         packet = IPv4Packet(record.orig.orig_ip, record.cs_ip, segment)
         self._emit_to_service(record.cs_ip, packet)
 
@@ -435,6 +501,7 @@ class SubfarmRouter:
             shim.to_bytes() + datagram.payload,
         )
         self.counters["shims_injected"] += 1
+        self._m_shims_injected.inc()
         packet = IPv4Packet(record.orig.orig_ip, record.cs_ip, wrapped)
         self._emit_to_service(record.cs_ip, packet)
 
@@ -637,14 +704,47 @@ class SubfarmRouter:
             return
         record.s2c_rem = length
         self.counters["shims_stripped"] += 1
+        self._m_shims_stripped.inc()
         decision = shim.to_decision(record.orig)
         self._apply_decision(record, decision, leftover)
+
+    def _record_verdict(self, record: FlowRecord,
+                        decision: ContainmentDecision) -> None:
+        """Telemetry bookkeeping at verdict time: close the shim-RTT
+        span, observe the RTT histogram, count the verdict, and (for
+        REWRITE) open the long-lived proxy span."""
+        proto = "tcp" if record.orig.proto == PROTO_TCP else "udp"
+        verdict = decision.verdict.label
+        self._m_verdicts.inc(subfarm=self.name, vlan=str(record.vlan),
+                             verdict=verdict, proto=proto)
+        self._h_shim_rtt.observe(self.sim.now - record.created_at,
+                                 subfarm=self.name)
+        if not self.telemetry.enabled:
+            return
+        span = self._shim_spans.pop(record.mux_port, None)
+        if span is not None:
+            span.finish()
+        trace_id = self._trace_ids.get(record.mux_port)
+        if trace_id is not None:
+            self.telemetry.point(trace_id, "flow.verdict",
+                                 subfarm=self.name, verdict=verdict,
+                                 proto=proto, policy=decision.policy)
+            if decision.verdict & Verdict.REWRITE:
+                self._proxy_spans[record.mux_port] = self.telemetry.span(
+                    trace_id, "flow.proxy", subfarm=self.name,
+                    vlan=str(record.vlan), proto=proto)
+
+    def _finish_proxy_span(self, record: FlowRecord) -> None:
+        span = self._proxy_spans.pop(record.mux_port, None)
+        if span is not None:
+            span.finish()
 
     def _apply_decision(self, record: FlowRecord,
                         decision: ContainmentDecision,
                         leftover: bytes = b"") -> None:
         record.decision = decision
         self.flow_log.append(FlowLogEntry(self.sim.now, record))
+        self._record_verdict(record, decision)
         verdict = decision.verdict
 
         if verdict & Verdict.REWRITE:
@@ -713,6 +813,13 @@ class SubfarmRouter:
         # External: the inmate-side endpoint needs its global address.
         if record.inmate_is_originator:
             record.nat_global = self.nat.global_for(record.vlan)
+            if self.telemetry.enabled and record.nat_global is not None:
+                trace_id = self._trace_ids.get(record.mux_port)
+                if trace_id is not None:
+                    self.telemetry.point(
+                        trace_id, "flow.nat", subfarm=self.name,
+                        vlan=str(record.vlan),
+                        global_ip=str(record.nat_global))
 
     # ------------------------------------------------------------------
     # Handoff to the enforced destination
@@ -720,6 +827,7 @@ class SubfarmRouter:
     def _begin_handoff(self, record: FlowRecord) -> None:
         record.phase = FlowPhase.HANDOFF
         self.counters["handoffs"] += 1
+        self._m_handoffs.inc()
         self._register_dst_alias(record)
         syn = TCPSegment(
             sport=record.orig.orig_port, dport=record.dst_port,
@@ -806,6 +914,7 @@ class SubfarmRouter:
             out.ack = seq_sub(out.ack, record.c2s_inj)
         packet = IPv4Packet(record.orig.resp_ip, record.orig.orig_ip, out)
         self.counters["packets_relayed"] += 1
+        self._m_packets.inc()
         self._emit_to_client(record, packet)
 
     def _deliver_cs_content(self, record: FlowRecord, payload: bytes) -> None:
@@ -850,6 +959,7 @@ class SubfarmRouter:
                 record.c2s_bytes += 0  # already counted at client relay
         packet = self._address_dst_packet(record, out)
         self.counters["packets_relayed"] += 1
+        self._m_packets.inc()
         self._emit_dst(record, packet)
 
     def _send_udp_to_dst(self, record: FlowRecord,
@@ -859,6 +969,7 @@ class SubfarmRouter:
         out.sport = record.orig.orig_port
         packet = self._address_dst_packet(record, out)
         self.counters["packets_relayed"] += 1
+        self._m_packets.inc()
         self._emit_dst(record, packet)
 
     def _address_dst_packet(self, record: FlowRecord, transport) -> IPv4Packet:
@@ -920,6 +1031,7 @@ class SubfarmRouter:
         out.sport = record.orig.orig_port
         src = record.nat_global or record.orig.orig_ip
         self.counters["packets_relayed"] += 1
+        self._m_packets.inc()
         self._emit_upstream(IPv4Packet(src, packet.dst, out))
 
     def _is_nonce_return(self, record: FlowRecord,
@@ -936,6 +1048,7 @@ class SubfarmRouter:
         out = packet.tcp.copy()
         out.dport = record.nonce_port
         self.counters["packets_relayed"] += 1
+        self._m_packets.inc()
         self._emit_to_service(record.cs_ip,
                               IPv4Packet(packet.src, record.cs_ip, out))
 
@@ -953,6 +1066,7 @@ class SubfarmRouter:
             return
         leftover = payload[length:]
         self.counters["shims_stripped"] += 1
+        self._m_shims_stripped.inc()
         if record.decision is None:
             decision = shim.to_decision(record.orig)
             self._apply_udp_decision(record, decision, leftover)
@@ -964,6 +1078,7 @@ class SubfarmRouter:
                             leftover: bytes) -> None:
         record.decision = decision
         self.flow_log.append(FlowLogEntry(self.sim.now, record))
+        self._record_verdict(record, decision)
         verdict = decision.verdict
         if verdict & Verdict.REWRITE:
             record.phase = FlowPhase.ENFORCED
@@ -1041,6 +1156,7 @@ class SubfarmRouter:
             self._teardown_cs_leg(record)
         if notify_client:
             self._synthesize_client_rst(record)
+        self._finish_proxy_span(record)
         record.phase = FlowPhase.CLOSED
 
     # ------------------------------------------------------------------
@@ -1066,6 +1182,11 @@ class SubfarmRouter:
             del self._index[key]
         self._by_mux.pop(record.mux_port, None)
         self._by_nonce.pop(record.nonce_port, None)
+        shim_span = self._shim_spans.pop(record.mux_port, None)
+        if shim_span is not None:
+            shim_span.finish()
+        self._finish_proxy_span(record)
+        self._trace_ids.pop(record.mux_port, None)
         if record.phase not in (FlowPhase.DROPPED, FlowPhase.REFUSED):
             record.phase = FlowPhase.CLOSED
 

@@ -17,6 +17,7 @@ from collections import deque
 from typing import Deque, Dict, List, Tuple
 
 from repro.net.addresses import IPv4Address
+from repro.obs.telemetry import NULL_TELEMETRY
 
 
 class SafetyAlert:
@@ -56,6 +57,8 @@ class SafetyFilter:
         max_flows_per_window: int = 500,
         max_flows_per_destination: int = 100,
         window: float = 60.0,
+        telemetry=None,
+        subfarm: str = "",
     ) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
@@ -67,6 +70,15 @@ class SafetyFilter:
         self.alerts: List[SafetyAlert] = []
         self.flows_admitted = 0
         self.flows_refused = 0
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._m_admitted = self.telemetry.counter(
+            "gw.safety.admitted", "Flows the safety filter admitted"
+        ).bind(subfarm=subfarm)
+        trips = self.telemetry.counter(
+            "gw.safety.trips", "Flows the safety filter refused, by reason")
+        self._m_trip_inmate = trips.bind(subfarm=subfarm, reason="per-inmate")
+        self._m_trip_pair = trips.bind(subfarm=subfarm,
+                                       reason="per-destination")
 
     def _prune(self, history: Deque[float], now: float) -> None:
         horizon = now - self.window
@@ -82,21 +94,28 @@ class SafetyFilter:
         self._prune(pair_history, now)
 
         if len(inmate_history) >= self.max_flows_per_window:
+            self._m_trip_inmate.inc()
             self._refuse(now, vlan, destination, "per-inmate flow rate")
             return False
         if len(pair_history) >= self.max_flows_per_destination:
+            self._m_trip_pair.inc()
             self._refuse(now, vlan, destination, "per-destination flow rate")
             return False
 
         inmate_history.append(now)
         pair_history.append(now)
         self.flows_admitted += 1
+        self._m_admitted.inc()
         return True
 
     def _refuse(self, now: float, vlan: int, destination: IPv4Address,
                 reason: str) -> None:
         self.flows_refused += 1
         self.alerts.append(SafetyAlert(now, vlan, destination, reason))
+        if self.telemetry.enabled:
+            self.telemetry.publish("safety.trip", vlan=vlan,
+                                   destination=str(destination),
+                                   reason=reason)
 
     def reset_inmate(self, vlan: int) -> None:
         """Forget an inmate's history (it was reverted/terminated)."""

@@ -39,6 +39,11 @@ class InmateController:
         # Hook for the subfarm router to clear per-inmate state
         # (safety-filter history, bridge entries, open flows).
         self.on_action = on_action
+        tel = sim.telemetry
+        self._m_lifecycle = tel.counter(
+            "inmates.lifecycle", "Life-cycle actions executed, by kind")
+        self._m_errors = tel.counter(
+            "inmates.lifecycle_errors", "Rejected life-cycle requests")
 
     # ------------------------------------------------------------------
     # Inventory
@@ -64,12 +69,15 @@ class InmateController:
     def execute(self, action: str, vlan: int) -> bool:
         if action not in ACTIONS:
             self.malformed_messages += 1
+            self._m_errors.inc(kind="malformed")
             return False
         inmate = self._inmates.get(vlan)
         if inmate is None:
             self.unknown_targets += 1
+            self._m_errors.inc(kind="unknown-target")
             return False
         self.actions_executed.append((self.sim.now, action, vlan))
+        self._m_lifecycle.inc(action=action)
         getattr(inmate, action)()
         if self.on_action is not None:
             self.on_action(action, vlan)
@@ -86,6 +94,7 @@ class InmateController:
             vlan = int(vlan_text)
         except (UnicodeDecodeError, ValueError):
             self.malformed_messages += 1
+            self._m_errors.inc(kind="malformed")
             return False
         return self.execute(action, vlan)
 

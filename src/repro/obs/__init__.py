@@ -1,0 +1,52 @@
+"""Farm-wide telemetry: metrics, flow traces, and structured events.
+
+The paper's reporting layer is "the operator's eyes" (§6.5); this
+package is the live counterpart — in-path visibility into where
+packets are dropped, how long shim round trips take on the virtual
+clock, and how hot the safety filter runs, all captured deterministically
+so two runs with the same seed snapshot identically.
+
+Layout:
+
+* :mod:`repro.obs.metrics` — labeled counters/gauges/histograms,
+* :mod:`repro.obs.trace` — per-flow spans on the simulation clock,
+* :mod:`repro.obs.hub` — ring-buffered structured events,
+* :mod:`repro.obs.telemetry` — the facade (plus the disabled no-op),
+* :mod:`repro.obs.export` — JSON/text snapshot exporters.
+"""
+
+from repro.obs.export import render_text, snapshot, to_json
+from repro.obs.hub import NULL_HUB, TelemetryEvent, TelemetryHub
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    format_key,
+)
+from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
+from repro.obs.trace import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_HUB",
+    "NULL_INSTRUMENT",
+    "NULL_TELEMETRY",
+    "NULL_TRACER",
+    "NullTelemetry",
+    "Span",
+    "Telemetry",
+    "TelemetryEvent",
+    "TelemetryHub",
+    "Tracer",
+    "format_key",
+    "render_text",
+    "snapshot",
+    "to_json",
+]

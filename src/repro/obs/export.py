@@ -1,0 +1,137 @@
+"""Snapshot exporters: the telemetry domain as JSON or text.
+
+A snapshot is a plain dict (JSON-ready, keys sorted) capturing every
+counter, gauge, histogram summary, retained trace, and hub accounting
+at one virtual instant.  Because all inputs are deterministic under a
+fixed seed, ``to_json`` produces byte-identical output across replays
+— snapshots can be diffed like any other run artifact.
+
+Metric identities render as ``name{label=value,...}`` with labels in
+sorted order (see :func:`repro.obs.metrics.format_key`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.obs.metrics import Counter, Gauge, Histogram, format_key
+
+SNAPSHOT_SCHEMA = "gq.telemetry/1"
+
+
+def snapshot(telemetry, include_traces: bool = True) -> dict:
+    """Capture the whole telemetry domain as a JSON-ready dict."""
+    out: dict = {
+        "schema": SNAPSHOT_SCHEMA,
+        "enabled": bool(getattr(telemetry, "enabled", False)),
+        "time": telemetry.clock() if getattr(telemetry, "enabled", False)
+        else 0.0,
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "traces": {},
+        "hub": {"published": 0, "retained": 0, "evicted": 0},
+        "tracer": {"spans": 0, "traces": 0, "evicted": 0},
+    }
+    if not out["enabled"]:
+        return out
+
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, dict] = {}
+    for metric in telemetry.registry.metrics():
+        if not getattr(metric, "deterministic", True):
+            continue
+        for key, cell in sorted(metric.cells().items()):
+            identity = format_key(metric.name, key)
+            if isinstance(metric, Counter):
+                counters[identity] = cell.value
+            elif isinstance(metric, Gauge):
+                gauges[identity] = cell.value
+            elif isinstance(metric, Histogram):
+                entry = cell.summary()
+                entry["buckets"] = [
+                    [bound, count]
+                    for bound, count in zip(
+                        list(cell.bounds) + ["+inf"], cell.bucket_counts)
+                    if count
+                ]
+                histograms[identity] = entry
+    out["counters"] = counters
+    out["gauges"] = gauges
+    out["histograms"] = histograms
+
+    if include_traces:
+        out["traces"] = {
+            trace_id: [span.to_dict() for span in spans]
+            for trace_id, spans in telemetry.tracer.traces().items()
+        }
+    out["hub"] = {
+        "published": telemetry.hub.published,
+        "retained": len(telemetry.hub),
+        "evicted": telemetry.hub.evicted,
+    }
+    out["tracer"] = {
+        "spans": telemetry.tracer.spans_created,
+        "traces": len(telemetry.tracer),
+        "evicted": telemetry.tracer.evicted,
+    }
+    return out
+
+
+def to_json(telemetry, include_traces: bool = True,
+            indent: int = None) -> str:
+    """Deterministic JSON rendering of :func:`snapshot`."""
+    return json.dumps(snapshot(telemetry, include_traces=include_traces),
+                      sort_keys=True, indent=indent)
+
+
+def render_text(telemetry, include_traces: bool = False) -> str:
+    """Human-readable snapshot — the report appendix format."""
+    snap = snapshot(telemetry, include_traces=include_traces)
+    lines: List[str] = []
+    if not snap["enabled"]:
+        return "(telemetry disabled)"
+    lines.append(f"Telemetry snapshot at t={snap['time']:.3f}s")
+    if snap["counters"]:
+        lines.append("")
+        lines.append("Counters")
+        for identity, value in snap["counters"].items():
+            lines.append(f"  {identity:<60} {value:>12g}")
+    if snap["gauges"]:
+        lines.append("")
+        lines.append("Gauges")
+        for identity, value in snap["gauges"].items():
+            lines.append(f"  {identity:<60} {value:>12g}")
+    if snap["histograms"]:
+        lines.append("")
+        lines.append("Histograms")
+        for identity, entry in snap["histograms"].items():
+            lines.append(
+                f"  {identity:<60} n={entry['count']:g} "
+                f"p50={entry.get('p50', 0.0):.6f} "
+                f"p95={entry.get('p95', 0.0):.6f} "
+                f"p99={entry.get('p99', 0.0):.6f}"
+            )
+    if include_traces and snap["traces"]:
+        lines.append("")
+        lines.append("Traces")
+        for trace_id, spans in snap["traces"].items():
+            lines.append(f"  {trace_id}")
+            for span in spans:
+                end = span["end"]
+                end_text = f"{end:.6f}" if end is not None else "open"
+                lines.append(
+                    f"    {span['name']:<16} "
+                    f"[{span['start']:.6f} .. {end_text}]"
+                )
+    hub = snap["hub"]
+    tracer = snap["tracer"]
+    lines.append("")
+    lines.append(
+        f"Hub: {hub['published']} events ({hub['evicted']} evicted) · "
+        f"Tracer: {tracer['spans']} spans in {tracer['traces']} traces "
+        f"({tracer['evicted']} evicted)"
+    )
+    return "\n".join(lines)

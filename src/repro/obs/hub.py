@@ -1,0 +1,103 @@
+"""The telemetry hub: structured events with ring-buffer retention.
+
+Components publish discrete happenings — a safety trip, a verdict, an
+inmate revert — as ``(virtual time, kind, fields)`` records.  The hub
+keeps the most recent ``capacity`` of them (older ones age out, with
+an eviction count so truncation is visible) and fans each one out to
+subscriber hooks, which is how live dashboards or the health checker
+can watch the farm without polling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+Clock = Callable[[], float]
+
+
+class TelemetryEvent:
+    """One structured happening."""
+
+    __slots__ = ("time", "kind", "fields")
+
+    def __init__(self, time: float, kind: str, fields: Dict[str, object]) -> None:
+        self.time = time
+        self.kind = kind
+        self.fields = fields
+
+    def to_dict(self) -> dict:
+        return {"time": self.time, "kind": self.kind, "fields": self.fields}
+
+    def __repr__(self) -> str:
+        return f"<TelemetryEvent t={self.time:.3f} {self.kind} {self.fields}>"
+
+
+Subscriber = Callable[[TelemetryEvent], None]
+
+
+class TelemetryHub:
+    """Bounded pub/sub event stream on the virtual clock."""
+
+    def __init__(self, clock: Clock, capacity: int = 4096) -> None:
+        self.clock = clock
+        self.capacity = capacity
+        self._ring: Deque[TelemetryEvent] = deque(maxlen=capacity)
+        self._subscribers: List[Subscriber] = []
+        self.published = 0
+        self.evicted = 0
+
+    def publish(self, kind: str, **fields: object) -> TelemetryEvent:
+        event = TelemetryEvent(self.clock(), kind, fields)
+        if len(self._ring) == self.capacity:
+            self.evicted += 1
+        self._ring.append(event)
+        self.published += 1
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def subscribe(self, subscriber: Subscriber) -> Callable[[], None]:
+        """Register a hook; returns an unsubscribe callable."""
+        self._subscribers.append(subscriber)
+
+        def unsubscribe() -> None:
+            if subscriber in self._subscribers:
+                self._subscribers.remove(subscriber)
+
+        return unsubscribe
+
+    def events(self, kind: Optional[str] = None) -> List[TelemetryEvent]:
+        if kind is None:
+            return list(self._ring)
+        return [event for event in self._ring if event.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __repr__(self) -> str:
+        return (f"<TelemetryHub retained={len(self._ring)} "
+                f"published={self.published}>")
+
+
+class NullHub:
+    """Do-nothing hub for disabled telemetry."""
+
+    __slots__ = ()
+    published = 0
+    evicted = 0
+
+    def publish(self, kind: str, **fields: object) -> None:
+        return None
+
+    def subscribe(self, subscriber: Subscriber) -> Callable[[], None]:
+        return lambda: None
+
+    def events(self, kind: Optional[str] = None) -> List[TelemetryEvent]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_HUB = NullHub()

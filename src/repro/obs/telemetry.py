@@ -1,0 +1,109 @@
+"""The telemetry facade: registry + tracer + hub behind one handle.
+
+Every instrumented component takes (or finds on its ``Simulator``) a
+``Telemetry`` object and asks it for instruments.  The disabled form,
+:data:`NULL_TELEMETRY`, hands out shared no-op singletons, so the
+instrumentation points cost one attribute access plus an empty method
+call — cheap enough to leave compiled into every packet path.
+
+Hot call sites that would do real work just to *feed* an instrument
+(string formatting, span bookkeeping) should guard on
+``telemetry.enabled`` first; plain counter bumps need no guard.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.obs.hub import NULL_HUB, TelemetryHub
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+)
+from repro.obs.trace import NULL_TRACER, Span, Tracer
+
+Clock = Callable[[], float]
+
+
+class Telemetry:
+    """Live telemetry domain, normally one per farm."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Clock] = None,
+                 max_traces: int = 1024,
+                 hub_capacity: int = 4096) -> None:
+        self.clock: Clock = clock if clock is not None else (lambda: 0.0)
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(self.clock, max_traces=max_traces)
+        self.hub = TelemetryHub(self.clock, capacity=hub_capacity)
+
+    # ---- instrument accessors (delegate to the registry) -------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self.registry.counter(name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self.registry.gauge(name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+                  deterministic: bool = True) -> Histogram:
+        return self.registry.histogram(name, help, buckets,
+                                       deterministic=deterministic)
+
+    # ---- tracing -----------------------------------------------------
+    def span(self, trace_id: str, name: str, **labels: str) -> Span:
+        return self.tracer.start_span(trace_id, name, **labels)
+
+    def point(self, trace_id: str, name: str, **labels: str) -> Span:
+        return self.tracer.point(trace_id, name, **labels)
+
+    # ---- events ------------------------------------------------------
+    def publish(self, kind: str, **fields: object):
+        return self.hub.publish(kind, **fields)
+
+    def __repr__(self) -> str:
+        return (f"<Telemetry metrics={len(self.registry)} "
+                f"traces={len(self.tracer)}>")
+
+
+class NullTelemetry:
+    """Disabled telemetry: every accessor returns a shared no-op."""
+
+    enabled = False
+    registry = None  # replaced below with a null-ish registry view
+    tracer = NULL_TRACER
+    hub = NULL_HUB
+
+    def counter(self, name: str, help: str = ""):
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = ""):
+        return NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "", buckets=None,
+                  deterministic: bool = True):
+        return NULL_INSTRUMENT
+
+    def span(self, trace_id: str, name: str, **labels: str):
+        return NULL_TRACER.start_span(trace_id, name)
+
+    def point(self, trace_id: str, name: str, **labels: str):
+        return NULL_TRACER.point(trace_id, name)
+
+    def publish(self, kind: str, **fields: object) -> None:
+        return None
+
+    def clock(self) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "<NullTelemetry>"
+
+
+#: The one shared disabled-telemetry instance.
+NULL_TELEMETRY = NullTelemetry()

@@ -1,0 +1,168 @@
+"""Per-flow spans on the virtual clock.
+
+A *trace* is the ordered list of spans one flow produced on its way
+through the farm — bridge ingress, safety admission, the shim round
+trip to the containment server, the verdict, proxying.  Span
+timestamps come from the simulation clock, so the same seed replays
+to byte-identical traces: the operator can diff two runs span by span.
+
+Spans within a trace are ordered by a tracer-wide sequence number, not
+by timestamp — two spans created at the same virtual instant (common:
+callbacks take zero virtual time) still sort in creation order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+Clock = Callable[[], float]
+
+
+class Span:
+    """One named step of a flow's journey."""
+
+    __slots__ = ("trace_id", "name", "start", "end", "labels", "seq",
+                 "_clock")
+
+    def __init__(self, trace_id: str, name: str, start: float, seq: int,
+                 labels: Tuple[Tuple[str, str], ...],
+                 clock: Optional[Clock] = None) -> None:
+        self.trace_id = trace_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.labels = labels
+        self.seq = seq
+        self._clock = clock
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def finish(self, at: Optional[float] = None) -> "Span":
+        """Close the span (idempotent) at ``at`` or the current virtual
+        time."""
+        if self.end is None:
+            self.end = at if at is not None else (
+                self._clock() if self._clock is not None else self.start
+            )
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "labels": dict(self.labels),
+        }
+
+    def __repr__(self) -> str:
+        end = f"{self.end:.6f}" if self.end is not None else "open"
+        return f"<Span {self.name} [{self.start:.6f}..{end}]>"
+
+
+class _NullSpan:
+    """Do-nothing span for disabled telemetry."""
+
+    __slots__ = ()
+    finished = True
+    duration = 0.0
+
+    def finish(self, at: Optional[float] = None) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Bounded store of per-flow span lists.
+
+    Traces evict FIFO once ``max_traces`` is exceeded, so week-scale
+    runs keep a sliding window of recent flows rather than growing
+    without bound.  ``evicted`` counts what fell off the window — the
+    exporter surfaces it so truncation is never silent.
+    """
+
+    def __init__(self, clock: Clock, max_traces: int = 1024) -> None:
+        self.clock = clock
+        self.max_traces = max_traces
+        self._traces: "OrderedDict[str, List[Span]]" = OrderedDict()
+        self._seq = 0
+        self.spans_created = 0
+        self.evicted = 0
+
+    def _append(self, trace_id: str, span: Span) -> None:
+        spans = self._traces.get(trace_id)
+        if spans is None:
+            if len(self._traces) >= self.max_traces:
+                self._traces.popitem(last=False)
+                self.evicted += 1
+            spans = self._traces[trace_id] = []
+        spans.append(span)
+
+    def start_span(self, trace_id: str, name: str, **labels: str) -> Span:
+        """Open a span now; caller finishes it when the step completes."""
+        self._seq += 1
+        self.spans_created += 1
+        span = Span(trace_id, name, self.clock(), self._seq,
+                    tuple(sorted((k, str(v)) for k, v in labels.items())),
+                    clock=self.clock)
+        self._append(trace_id, span)
+        return span
+
+    def point(self, trace_id: str, name: str, **labels: str) -> Span:
+        """An instantaneous span (start == end)."""
+        span = self.start_span(trace_id, name, **labels)
+        span.end = span.start
+        return span
+
+    def trace(self, trace_id: str) -> List[Span]:
+        return list(self._traces.get(trace_id, ()))
+
+    def trace_ids(self) -> List[str]:
+        return list(self._traces)
+
+    def traces(self) -> Dict[str, List[Span]]:
+        return {tid: list(spans) for tid, spans in self._traces.items()}
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __repr__(self) -> str:
+        return (f"<Tracer traces={len(self._traces)} "
+                f"spans={self.spans_created}>")
+
+
+class NullTracer:
+    """Do-nothing tracer for disabled telemetry."""
+
+    __slots__ = ()
+    spans_created = 0
+    evicted = 0
+
+    def start_span(self, trace_id: str, name: str, **labels: str) -> _NullSpan:
+        return NULL_SPAN
+
+    def point(self, trace_id: str, name: str, **labels: str) -> _NullSpan:
+        return NULL_SPAN
+
+    def trace(self, trace_id: str) -> List[Span]:
+        return []
+
+    def trace_ids(self) -> List[str]:
+        return []
+
+    def traces(self) -> Dict[str, List[Span]]:
+        return {}
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_TRACER = NullTracer()

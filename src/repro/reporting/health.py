@@ -48,16 +48,26 @@ class HealthChecker:
     expect_activity:
         Inmates with zero contained flows are flagged (dead specimen,
         broken infection, or policy that kills everything).
+    max_safety_trip_fraction / max_shim_p99 / max_nat_utilization:
+        Thresholds for the live (telemetry-driven) rules; they apply
+        only when :meth:`check` is handed an enabled telemetry domain.
     """
 
     def __init__(self, max_forward_fraction: float = 0.25,
                  expect_activity: bool = True,
-                 expect_autoinfection: bool = False) -> None:
+                 expect_autoinfection: bool = False,
+                 max_safety_trip_fraction: float = 0.05,
+                 max_shim_p99: float = 2.0,
+                 max_nat_utilization: float = 0.9) -> None:
         self.max_forward_fraction = max_forward_fraction
         self.expect_activity = expect_activity
         self.expect_autoinfection = expect_autoinfection
+        self.max_safety_trip_fraction = max_safety_trip_fraction
+        self.max_shim_p99 = max_shim_p99
+        self.max_nat_utilization = max_nat_utilization
 
-    def check(self, report: ActivityReport) -> List[HealthWarning]:
+    def check(self, report: ActivityReport,
+              telemetry=None) -> List[HealthWarning]:
         warnings: List[HealthWarning] = []
         for subfarm_name, inmates in report.subfarms.items():
             if not inmates and self.expect_activity:
@@ -67,6 +77,71 @@ class HealthChecker:
             for vlan, activity in inmates.items():
                 warnings.extend(self._check_inmate(subfarm_name, vlan,
                                                    activity))
+        # Live rules over the metrics registry: skipped entirely when
+        # no telemetry was passed or the domain is disabled.
+        if telemetry is not None and telemetry.enabled:
+            warnings.extend(self._check_live(telemetry))
+        return warnings
+
+    # ------------------------------------------------------------------
+    # Live telemetry rules
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _by_subfarm(metric) -> dict:
+        """Aggregate a metric's cells by their ``subfarm`` label."""
+        out: dict = {}
+        if metric is None:
+            return out
+        for key, cell in metric.cells().items():
+            labels = dict(key)
+            out.setdefault(labels.get("subfarm", ""), []).append(cell)
+        return out
+
+    def _check_live(self, telemetry) -> List[HealthWarning]:
+        warnings: List[HealthWarning] = []
+        registry = telemetry.registry
+
+        # Rule 1: safety-filter trip rate — a tripping filter means an
+        # inmate is being actively rate-limited (flooder, scan storm).
+        trips = self._by_subfarm(registry.get("gw.safety.trips"))
+        admitted = self._by_subfarm(registry.get("gw.safety.admitted"))
+        for subfarm, cells in trips.items():
+            tripped = sum(c.value for c in cells)
+            total = tripped + sum(
+                c.value for c in admitted.get(subfarm, []))
+            if total and tripped / total > self.max_safety_trip_fraction:
+                warnings.append(HealthWarning(
+                    "critical", subfarm, None, "safety-trip-rate",
+                    f"{tripped:.0f}/{total:.0f} flows tripped the safety "
+                    f"filter ({tripped / total:.0%}) — flooder loose?"))
+
+        # Rule 2: shim round-trip p99 — a slow verdict path stalls
+        # every new flow in the subfarm behind the containment server.
+        rtt = registry.get("router.shim.rtt")
+        if rtt is not None:
+            for key, cell in rtt.cells().items():
+                if cell.count == 0:
+                    continue
+                p99 = cell.quantile(0.99)
+                if p99 > self.max_shim_p99:
+                    subfarm = dict(key).get("subfarm", "")
+                    warnings.append(HealthWarning(
+                        "warn", subfarm, None, "shim-latency",
+                        f"shim verdict p99 {p99:.3f}s exceeds "
+                        f"{self.max_shim_p99:.3f}s — CS overloaded?"))
+
+        # Rule 3: NAT pool exhaustion — no free global addresses means
+        # new inmates cannot come up at all.
+        used = self._by_subfarm(registry.get("gw.nat.pool.used"))
+        capacity = self._by_subfarm(registry.get("gw.nat.pool.capacity"))
+        for subfarm, cells in used.items():
+            in_use = sum(c.value for c in cells)
+            cap = sum(c.value for c in capacity.get(subfarm, []))
+            if cap and in_use / cap > self.max_nat_utilization:
+                warnings.append(HealthWarning(
+                    "critical", subfarm, None, "nat-exhaustion",
+                    f"global address pool {in_use:.0f}/{cap:.0f} used "
+                    f"({in_use / cap:.0%}) — inmates will fail to bind"))
         return warnings
 
     def _check_inmate(self, subfarm: str, vlan: int,

@@ -140,13 +140,15 @@ class ReportScheduler:
     """
 
     def __init__(self, sim, subfarms, blocklist=None,
-                 interval: float = 3600.0, on_report=None) -> None:
+                 interval: float = 3600.0, on_report=None,
+                 telemetry=None) -> None:
         from repro.sim.process import Process
 
         self.sim = sim
         self.subfarms = list(subfarms)
         self.blocklist = blocklist
         self.on_report = on_report
+        self.telemetry = telemetry
         self.reports: List[Tuple[float, str]] = []
         self._process = Process(sim, interval, self._fire,
                                 label="report-rotation")
@@ -159,14 +161,18 @@ class ReportScheduler:
         report = ActivityReport.from_subfarms(
             self.subfarms, self.blocklist,
             title=f"Inmate Activity (t={self.sim.now:.0f}s)")
-        rendered = render_report(report)
+        rendered = render_report(report, telemetry=self.telemetry)
         self.reports.append((self.sim.now, rendered))
         if self.on_report is not None:
             self.on_report(self.sim.now, report, rendered)
 
 
-def render_report(report: ActivityReport) -> str:
-    """Render in the Figure 7 textual layout."""
+def render_report(report: ActivityReport, telemetry=None) -> str:
+    """Render in the Figure 7 textual layout.
+
+    With a live ``telemetry`` domain, a farm-wide metrics appendix
+    (see repro.obs.export.render_text) follows the per-inmate blocks.
+    """
     lines: List[str] = []
     lines.append(report.title)
     lines.append("=" * len(report.title))
@@ -203,4 +209,12 @@ def render_report(report: ActivityReport) -> str:
                           if activity.blacklisted else "clean")
                 lines.append(f"Blacklist check     {status}")
             lines.append("")
+    if telemetry is not None and telemetry.enabled:
+        from repro.obs.export import render_text
+
+        appendix = "Appendix: farm telemetry"
+        lines.append(appendix)
+        lines.append("=" * len(appendix))
+        lines.append("")
+        lines.append(render_text(telemetry, include_traces=False))
     return "\n".join(lines)

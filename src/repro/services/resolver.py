@@ -44,6 +44,8 @@ class RecursiveResolver:
         self.queries_served = 0
         self.recursions = 0
         self.nxdomains = 0
+        self._m_queries = host.sim.telemetry.counter(
+            "dns.queries", "DNS queries served, by outcome")
         host.udp.bind(DNS_PORT, self._on_query)
 
     def add_record(self, name: str, ip: IPv4Address) -> None:
@@ -63,17 +65,20 @@ class RecursiveResolver:
         qtype = query.question.qtype
 
         if qtype == QTYPE_A and name in self.static_zone:
+            self._m_queries.inc(outcome="static")
             reply = query.reply([DnsRecord.a(name, self.static_zone[name])])
             self._send_reply(reply, packet.src, datagram.sport)
             return
 
         cached = self.cache.get((name, qtype))
         if cached is not None:
+            self._m_queries.inc(outcome="cached")
             self._send_reply(query.reply(cached), packet.src, datagram.sport)
             return
 
         if self.upstream_ip is None:
             self.nxdomains += 1
+            self._m_queries.inc(outcome="nxdomain")
             self._send_reply(query.reply([], rcode=RCODE_NXDOMAIN),
                              packet.src, datagram.sport)
             return
@@ -82,6 +87,7 @@ class RecursiveResolver:
     def _recurse(self, query: DnsMessage, client_ip: IPv4Address,
                  client_port: int) -> None:
         self.recursions += 1
+        self._m_queries.inc(outcome="recursed")
         src_port = self.host.udp.allocate_port()
         name, qtype = query.question.name, query.question.qtype
 

@@ -86,6 +86,16 @@ class SmtpSink:
         self.banner_cache: Dict[IPv4Address, str] = {}
         self.banner_fetches = 0
 
+        tel = host.sim.telemetry
+        sessions = tel.counter(
+            "smtp.sessions", "SMTP sink sessions, by fidelity decision")
+        self._m_accepted = sessions.bind(decision="accepted")
+        self._m_dropped = sessions.bind(decision="dropped")
+        self._m_transfers = tel.counter(
+            "smtp.data_transfers", "Completed SMTP DATA transactions").bind()
+        self._m_banners = tel.counter(
+            "smtp.banner_fetches", "Upstream banner grabs started").bind()
+
         if listen_any_port:
             host.tcp.listen_any(self._accept)
         else:
@@ -95,9 +105,11 @@ class SmtpSink:
     def _accept(self, conn: TcpConnection) -> None:
         if self.drop_probability and self._rng.random() < self.drop_probability:
             self.sessions_dropped += 1
+            self._m_dropped.inc()
             conn.abort()
             return
         self.sessions_accepted += 1
+        self._m_accepted.inc()
         banner = self._banner_for(conn)
         if banner is None:
             # Banner grab in flight: hold the connection, start the
@@ -120,6 +132,7 @@ class SmtpSink:
         """Connect out to the real destination, grab its 220 greeting."""
         target = self.banner_target_resolver(conn.local_ip)
         self.banner_fetches += 1
+        self._m_banners.inc()
         upstream = self.host.tcp.connect(target, SMTP_PORT)
         grabbed = bytearray()
 
@@ -157,6 +170,7 @@ class SmtpSink:
     def _on_message(self, transaction: SmtpTransaction) -> None:
         transaction.completed_at = self.host.sim.now
         self.data_transfers += 1
+        self._m_transfers.inc()
         self.messages.append(transaction)
 
     # ------------------------------------------------------------------

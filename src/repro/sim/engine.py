@@ -16,7 +16,11 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.metrics import NULL_INSTRUMENT
+from repro.obs.telemetry import NULL_TELEMETRY
 
 
 class Event:
@@ -51,10 +55,19 @@ class Event:
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
+    @property
+    def effective_label(self) -> str:
+        """The scheduling label, falling back to the callback's name so
+        traces and per-label histograms never show an anonymous event."""
+        return self.label or getattr(
+            self.callback, "__qualname__",
+            getattr(self.callback, "__name__", "callback"),
+        )
+
     def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else "pending"
-        name = self.label or getattr(self.callback, "__name__", "callback")
-        return f"<Event t={self.time:.6f} {name} ({state})>"
+        return (f"<Event t={self.time:.6f} seq={self.seq} "
+                f"{self.effective_label} ({state})>")
 
 
 class Simulator:
@@ -75,6 +88,44 @@ class Simulator:
         self.seed = seed
         self._rngs: Dict[str, random.Random] = {}
         self.events_processed = 0
+
+        # Telemetry (disabled by default): the no-op instruments keep
+        # the hot loop branch-free; attach_telemetry() swaps them for
+        # live ones.
+        self.telemetry = NULL_TELEMETRY
+        self.profile_callbacks = False
+        self._m_scheduled = NULL_INSTRUMENT
+        self._m_fired = NULL_INSTRUMENT
+        self._m_cancelled = NULL_INSTRUMENT
+        self._g_queue_depth = NULL_INSTRUMENT
+        self._h_callback = NULL_INSTRUMENT
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def attach_telemetry(self, telemetry,
+                         profile_callbacks: bool = False) -> None:
+        """Wire a live :class:`~repro.obs.telemetry.Telemetry` domain.
+
+        ``profile_callbacks`` additionally records a *wall-clock*
+        histogram of callback run time keyed by event label — useful
+        for finding hot event types, but nondeterministic, so it is
+        opt-in and kept out of snapshot-diff workflows.
+        """
+        self.telemetry = telemetry
+        self.profile_callbacks = bool(profile_callbacks) and telemetry.enabled
+        self._m_scheduled = telemetry.counter(
+            "sim.events.scheduled", "Events pushed onto the queue").bind()
+        self._m_fired = telemetry.counter(
+            "sim.events.fired", "Callbacks executed").bind()
+        self._m_cancelled = telemetry.counter(
+            "sim.events.cancelled", "Dead events discarded at pop").bind()
+        self._g_queue_depth = telemetry.gauge(
+            "sim.queue.depth", "Events currently queued (incl. dead)").bind()
+        self._h_callback = telemetry.histogram(
+            "sim.callback.wall_time",
+            "Wall-clock seconds per callback, by event label",
+            deterministic=False)
 
     # ------------------------------------------------------------------
     # Clock
@@ -112,6 +163,8 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
         event = Event(self._now + delay, next(self._seq), callback, args, label)
         heapq.heappush(self._queue, event)
+        self._m_scheduled.inc()
+        self._g_queue_depth.set(len(self._queue))
         return event
 
     def schedule_at(
@@ -128,6 +181,8 @@ class Simulator:
             )
         event = Event(time, next(self._seq), callback, args, label)
         heapq.heappush(self._queue, event)
+        self._m_scheduled.inc()
+        self._g_queue_depth.set(len(self._queue))
         return event
 
     # ------------------------------------------------------------------
@@ -148,6 +203,7 @@ class Simulator:
                 event = self._queue[0]
                 if event.cancelled:
                     heapq.heappop(self._queue)
+                    self._m_cancelled.inc()
                     continue
                 if until is not None and event.time > until:
                     self._now = until
@@ -156,7 +212,15 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 self._now = event.time
-                event.callback(*event.args)
+                if self.profile_callbacks:
+                    started = perf_counter()
+                    event.callback(*event.args)
+                    self._h_callback.observe(perf_counter() - started,
+                                             label=event.effective_label)
+                else:
+                    event.callback(*event.args)
+                self._m_fired.inc()
+                self._g_queue_depth.set(len(self._queue))
                 processed += 1
                 self.events_processed += 1
             else:
@@ -171,9 +235,12 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._m_cancelled.inc()
                 continue
             self._now = event.time
             event.callback(*event.args)
+            self._m_fired.inc()
+            self._g_queue_depth.set(len(self._queue))
             self.events_processed += 1
             return True
         return False
