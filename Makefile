@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-quick paper-benches
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) benchmarks/bench_hotpath.py
+
+bench-quick:
+	$(PYTHON) benchmarks/bench_hotpath.py --quick
+
+paper-benches:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only

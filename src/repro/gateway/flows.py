@@ -116,6 +116,13 @@ class FlowRecord:
         # LIMIT shaping ----------------------------------------------------
         self.shaper: Optional["TokenBucket"] = None
 
+        # Router bookkeeping ----------------------------------------------
+        # Every directed tuple this record registered in the router's
+        # flow index, so eviction is O(aliases) instead of an O(table)
+        # scan; and the tuples carrying compiled fast-path handlers.
+        self.index_keys: list = []
+        self.fast_keys: list = []
+
     # ------------------------------------------------------------------
     @property
     def isn_delta(self) -> int:

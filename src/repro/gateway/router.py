@@ -137,6 +137,16 @@ class SubfarmRouter:
         self._next_mux = self.MUX_PORT_BASE
         self._next_nonce = self.NONCE_PORT_BASE
 
+        # Established-flow fast path (the compiled forwarding path of
+        # §4): post-verdict flows get per-packet handlers bound to the
+        # directed tuples their packets arrive on, so the steady state
+        # pays one dict hit and one call instead of _dispatch_known's
+        # branch tree.  Toggleable for A/B benchmarking.
+        self.fastpath_enabled = True
+        # Keyed by int-tuple (see _fp_key), not FiveTuple: the per-
+        # packet probe must not pay Python-level __hash__/__eq__.
+        self._fastpath: Dict[tuple, Callable[[IPv4Packet], None]] = {}
+
         # Per-service NAT for outbound service traffic (control /24).
         self._service_nat: Dict[IPv4Address, IPv4Address] = {}
         self._service_nat_rev: Dict[IPv4Address, IPv4Address] = {}
@@ -190,9 +200,14 @@ class SubfarmRouter:
         self._m_verdicts = tel.counter(
             "router.flows.verdict",
             "Containment verdicts applied, by verdict and protocol")
+        # Per-(vlan, verdict, proto) bound cells, resolved lazily so the
+        # label-sort-and-lookup cost is paid once per combination rather
+        # than on every verdict.
+        self._verdict_cells: Dict[tuple, object] = {}
         self._h_shim_rtt = tel.histogram(
             "router.shim.rtt",
-            "Virtual seconds from flow creation to verdict")
+            "Virtual seconds from flow creation to verdict"
+        ).bind(subfarm=name)
         self._shim_spans: Dict[int, object] = {}
         self._proxy_spans: Dict[int, object] = {}
         self._trace_ids: Dict[int, str] = {}
@@ -274,11 +289,21 @@ class SubfarmRouter:
             self._emit_to_service(packet.dst, packet)
             return
 
-        key = self._directed_key(packet)
-        record = self._index.get(key)
-        if record is not None:
-            self._dispatch_known(record, packet, key)
-            return
+        proto = packet.proto
+        if proto == PROTO_TCP or proto == PROTO_UDP:
+            transport = packet.payload
+            handler = self._fastpath.get(
+                (packet.src.value, transport.sport,
+                 packet.dst.value, transport.dport, proto))
+            if handler is not None:
+                handler(packet)
+                return
+            key = FiveTuple(packet.src, transport.sport,
+                            packet.dst, transport.dport, proto)
+            record = self._index.get(key)
+            if record is not None:
+                self._dispatch_known(record, packet, key)
+                return
         self._new_flow(packet, vlan=vlan, inmate_is_originator=True)
 
     # ------------------------------------------------------------------
@@ -288,8 +313,17 @@ class SubfarmRouter:
         packet = frame.payload
         if not isinstance(packet, IPv4Packet):
             return
-        key = self._directed_key(packet)
-        if key is not None:
+        proto = packet.proto
+        if proto == PROTO_TCP or proto == PROTO_UDP:
+            transport = packet.payload
+            handler = self._fastpath.get(
+                (packet.src.value, transport.sport,
+                 packet.dst.value, transport.dport, proto))
+            if handler is not None:
+                handler(packet)
+                return
+            key = FiveTuple(packet.src, transport.sport,
+                            packet.dst, transport.dport, proto)
             record = self._index.get(key)
             if record is not None:
                 self._dispatch_known(record, packet, key)
@@ -325,8 +359,17 @@ class SubfarmRouter:
     # Entry point: packets from upstream addressed into this subfarm
     # ------------------------------------------------------------------
     def upstream_packet(self, packet: IPv4Packet) -> None:
-        key = self._directed_key(packet)
-        if key is not None:
+        proto = packet.proto
+        if proto == PROTO_TCP or proto == PROTO_UDP:
+            transport = packet.payload
+            handler = self._fastpath.get(
+                (packet.src.value, transport.sport,
+                 packet.dst.value, transport.dport, proto))
+            if handler is not None:
+                handler(packet)
+                return
+            key = FiveTuple(packet.src, transport.sport,
+                            packet.dst, transport.dport, proto)
             record = self._index.get(key)
             if record is not None:
                 self._dispatch_known(record, packet, key)
@@ -438,8 +481,11 @@ class SubfarmRouter:
         self._by_mux[mux] = record
         self._by_nonce[nonce] = record
         # Client-side aliases (as the originator addresses the flow).
+        reverse = key.reversed()
         self._index[key] = record
-        self._index[key.reversed()] = record
+        self._index[reverse] = record
+        record.index_keys.append(key)
+        record.index_keys.append(reverse)
 
         if self.telemetry.enabled:
             proto = "tcp" if packet.proto == PROTO_TCP else "udp"
@@ -545,6 +591,281 @@ class SubfarmRouter:
             self._relay_nonce_return(record, packet)
         else:
             self._relay_server_packet(record, packet, "dst")
+
+    # ------------------------------------------------------------------
+    # Established-flow fast path (the paper's compiled forwarding path)
+    # ------------------------------------------------------------------
+    # At verdict time the flow's forwarding becomes fixed: which leg
+    # each directed tuple belongs to, the port/sequence translations,
+    # the destination addressing, and the emission target are all
+    # decided.  _fastpath_install compiles that knowledge into bound
+    # per-packet closures keyed by the tuples the flow's packets arrive
+    # on, so steady-state forwarding is one dict hit plus one call.
+    # Packets that can change flow state (SYN, RST) fall back to the
+    # slow path, which is kept byte-identical and remains the single
+    # source of truth for verdicts and handoffs.
+
+    @staticmethod
+    def _fp_key(tuple_: FiveTuple):
+        """Fast-path dict key: a plain int tuple, so probes hash and
+        compare in C instead of through IPv4Address's methods."""
+        return (tuple_.orig_ip.value, tuple_.orig_port,
+                tuple_.resp_ip.value, tuple_.resp_port, tuple_.proto)
+
+    def _fastpath_install(self, record: FlowRecord) -> None:
+        if not self.fastpath_enabled:
+            return
+        self._fastpath_uninstall(record)
+        if record.phase == FlowPhase.DROPPED:
+            handlers = self._compile_dropped(record)
+        elif record.phase == FlowPhase.ENFORCED and record.decision is not None:
+            if record.decision.verdict & Verdict.REWRITE:
+                handlers = self._compile_rewrite(record)
+            else:
+                handlers = self._compile_endpoint(record)
+        else:
+            return
+        for tuple_, handler in handlers:
+            key = self._fp_key(tuple_)
+            handler.owner = record
+            self._fastpath[key] = handler
+            record.fast_keys.append(key)
+
+    def _fastpath_uninstall(self, record: FlowRecord) -> None:
+        for key in record.fast_keys:
+            handler = self._fastpath.get(key)
+            if handler is not None and handler.owner is record:
+                del self._fastpath[key]
+        record.fast_keys.clear()
+
+    def _compile_client_emit(self, record: FlowRecord):
+        """Resolve _emit_to_client's routing once (minus shaping)."""
+        if record.inmate_is_originator:
+            vlan = record.vlan
+            emit_to_vlan = self._emit_to_vlan
+
+            def emit(p, vlan=vlan, emit_to_vlan=emit_to_vlan):
+                emit_to_vlan(vlan, p)
+            base = emit
+        else:
+            base = self._emit_upstream
+        if record.shaper is None:
+            return base
+        shaped = self._emit_shaped
+
+        def emit_shaped(p, record=record, base=base, shaped=shaped):
+            shaped(record, p, base)
+        return emit_shaped
+
+    def _compile_dst_emit(self, record: FlowRecord):
+        """Resolve _emit_dst's routing once (minus shaping)."""
+        if record.dst_is_inmate_vlan is not None:
+            vlan = record.dst_is_inmate_vlan
+            emit_to_vlan = self._emit_to_vlan
+
+            def emit(p, vlan=vlan, emit_to_vlan=emit_to_vlan):
+                emit_to_vlan(vlan, p)
+            base = emit
+        elif record.dst_ip in self.service_ips:
+            dst_ip = record.dst_ip
+            emit_to_service = self._emit_to_service
+
+            def emit(p, dst_ip=dst_ip, emit_to_service=emit_to_service):
+                emit_to_service(dst_ip, p)
+            base = emit
+        else:
+            base = self._emit_upstream
+        if record.shaper is None:
+            return base
+        shaped = self._emit_shaped
+
+        def emit_shaped(p, record=record, base=base, shaped=shaped):
+            shaped(record, p, base)
+        return emit_shaped
+
+    def _compile_endpoint(self, record: FlowRecord):
+        """Handlers for handed-off flows (FORWARD/LIMIT/REDIRECT/
+        REFLECT over TCP, plus all UDP endpoint verdicts)."""
+        sim = self.sim
+        counters = self.counters
+        m_packets = self._m_packets
+        dispatch = self._dispatch_known
+        orig = record.orig
+        orig_ip, orig_port = orig.orig_ip, orig.orig_port
+        resp_ip, resp_port = orig.resp_ip, orig.resp_port
+        dst_port = record.dst_port
+        proto = orig.proto
+        emit_client = self._compile_client_emit(record)
+        emit_dst = self._compile_dst_emit(record)
+
+        # Destination addressing, as _address_dst_packet decides it.
+        if record.spoof_preserve:
+            dst_src_ip, dst_dst_ip = orig_ip, resp_ip
+            dst_key = FiveTuple(resp_ip, dst_port, orig_ip, orig_port, proto)
+        else:
+            if (record.dst_is_inmate_vlan is not None
+                    or record.dst_ip in self.service_ips):
+                local_ip = orig_ip
+            else:
+                local_ip = record.nat_global or orig_ip
+            dst_src_ip, dst_dst_ip = local_ip, record.dst_ip
+            dst_key = FiveTuple(record.dst_ip, dst_port, local_ip,
+                                orig_port, proto)
+
+        if proto == PROTO_UDP:
+            def client_to_dst(packet):
+                datagram = packet.payload
+                record.last_activity = sim.now
+                record.c2s_packets += 1
+                record.c2s_bytes += len(datagram.payload)
+                out = datagram.rebind(orig_port, dst_port)
+                counters["packets_relayed"] += 1
+                m_packets.inc()
+                emit_dst(IPv4Packet.wrap(dst_src_ip, dst_dst_ip, out,
+                                         PROTO_UDP))
+
+            def dst_to_client(packet):
+                record.last_activity = sim.now
+                record.s2c_packets += 1
+                payload = packet.payload.payload
+                record.s2c_bytes += len(payload)
+                out = UDPDatagram(resp_port, orig_port, payload)
+                emit_client(IPv4Packet.wrap(resp_ip, orig_ip, out,
+                                            PROTO_UDP))
+
+            return [(orig, client_to_dst), (dst_key, dst_to_client)]
+
+        isn_delta = record.isn_delta
+        c2s_inj = record.c2s_inj
+
+        def client_to_dst(packet):
+            segment = packet.payload
+            flags = segment.flags
+            if flags & 0x06:  # SYN or RST: state-changing
+                dispatch(record, packet, orig)
+                return
+            record.last_activity = sim.now
+            record.c2s_packets += 1
+            record.c2s_bytes += len(segment.payload)
+            ack = ((segment.ack - isn_delta) & 0xFFFFFFFF
+                   if flags & ACK else segment.ack)
+            out = segment.rebind(orig_port, dst_port, segment.seq, ack)
+            counters["packets_relayed"] += 1
+            m_packets.inc()
+            emit_dst(IPv4Packet.wrap(dst_src_ip, dst_dst_ip, out, PROTO_TCP))
+
+        def dst_to_client(packet):
+            segment = packet.payload
+            record.last_activity = sim.now
+            record.s2c_packets += 1
+            if segment.payload:
+                record.s2c_bytes += len(segment.payload)
+            ack = ((segment.ack - c2s_inj) & 0xFFFFFFFF
+                   if segment.flags & ACK else segment.ack)
+            out = segment.rebind(resp_port, orig_port,
+                                 (segment.seq + isn_delta) & 0xFFFFFFFF, ack)
+            counters["packets_relayed"] += 1
+            m_packets.inc()
+            emit_client(IPv4Packet.wrap(resp_ip, orig_ip, out, PROTO_TCP))
+
+        return [(orig, client_to_dst), (dst_key, dst_to_client)]
+
+    def _compile_rewrite(self, record: FlowRecord):
+        """Handlers for REWRITE flows, which stay coupled to the
+        containment server for life."""
+        sim = self.sim
+        counters = self.counters
+        m_packets = self._m_packets
+        dispatch = self._dispatch_known
+        emit_to_service = self._emit_to_service
+        orig = record.orig
+        orig_ip, orig_port = orig.orig_ip, orig.orig_port
+        resp_ip, resp_port = orig.resp_ip, orig.resp_port
+        cs_ip = record.cs_ip
+        mux = record.mux_port
+        emit_client = self._compile_client_emit(record)
+
+        if orig.proto == PROTO_UDP:
+            cs_udp_port = self.cs_udp_port
+            m_shims_injected = self._m_shims_injected
+            shim_bytes = RequestShim(orig, record.vlan,
+                                     record.nonce_port).to_bytes()
+
+            def client_to_cs(packet):
+                datagram = packet.payload
+                record.last_activity = sim.now
+                record.c2s_packets += 1
+                record.c2s_bytes += len(datagram.payload)
+                wrapped = UDPDatagram(mux, cs_udp_port,
+                                      shim_bytes + datagram.payload)
+                counters["shims_injected"] += 1
+                m_shims_injected.inc()
+                emit_to_service(cs_ip, IPv4Packet(orig_ip, cs_ip, wrapped))
+
+            # Return datagrams carry a response shim each and must be
+            # parsed, so the CS->client direction stays on the slow path.
+            return [(orig, client_to_cs)]
+
+        cs_tcp_port = self.cs_tcp_port
+        c2s_inj = record.c2s_inj
+        s2c_rem = record.s2c_rem
+        server_from_cs = self._server_packet_from_cs
+        cs_key = FiveTuple(cs_ip, cs_tcp_port, orig_ip, mux, PROTO_TCP)
+
+        def client_to_cs(packet):
+            segment = packet.payload
+            flags = segment.flags
+            if flags & 0x06:  # SYN or RST: state-changing
+                dispatch(record, packet, orig)
+                return
+            record.last_activity = sim.now
+            record.c2s_packets += 1
+            record.c2s_bytes += len(segment.payload)
+            if flags & FIN:
+                record.client_fin = True
+            ack = ((segment.ack + s2c_rem) & 0xFFFFFFFF
+                   if flags & ACK else 0)
+            out = segment.rebind(mux, cs_tcp_port,
+                                 (segment.seq + c2s_inj) & 0xFFFFFFFF, ack)
+            counters["packets_relayed"] += 1
+            m_packets.inc()
+            emit_to_service(cs_ip, IPv4Packet.wrap(orig_ip, cs_ip, out,
+                                                   PROTO_TCP))
+
+        def cs_to_client(packet):
+            segment = packet.payload
+            record.s2c_packets += 1
+            if segment.flags & RST:  # server abort: slow path
+                server_from_cs(record, segment)
+                return
+            ack = ((segment.ack - c2s_inj) & 0xFFFFFFFF
+                   if segment.flags & ACK else segment.ack)
+            out = segment.rebind(resp_port, orig_port,
+                                 (segment.seq - s2c_rem) & 0xFFFFFFFF, ack)
+            counters["packets_relayed"] += 1
+            m_packets.inc()
+            emit_client(IPv4Packet.wrap(resp_ip, orig_ip, out, PROTO_TCP))
+            if segment.payload:
+                record.s2c_bytes += len(segment.payload)
+
+        return [(orig, client_to_cs), (cs_key, cs_to_client)]
+
+    def _compile_dropped(self, record: FlowRecord):
+        """Terminal-phase handler: touch and swallow, except TCP SYNs
+        which may be a new incarnation of the tuple."""
+        sim = self.sim
+        dispatch = self._dispatch_known
+        orig = record.orig
+        if orig.proto == PROTO_TCP:
+            def handler(packet):
+                if packet.payload.flags & SYN:
+                    dispatch(record, packet, orig)
+                    return
+                record.last_activity = sim.now
+        else:
+            def handler(packet):
+                record.last_activity = sim.now
+        return [(orig, handler)]
 
     # ------------------------------------------------------------------
     # Client-side relay
@@ -715,10 +1036,15 @@ class SubfarmRouter:
         REWRITE) open the long-lived proxy span."""
         proto = "tcp" if record.orig.proto == PROTO_TCP else "udp"
         verdict = decision.verdict.label
-        self._m_verdicts.inc(subfarm=self.name, vlan=str(record.vlan),
-                             verdict=verdict, proto=proto)
-        self._h_shim_rtt.observe(self.sim.now - record.created_at,
-                                 subfarm=self.name)
+        cell_key = (record.vlan, verdict, proto)
+        cell = self._verdict_cells.get(cell_key)
+        if cell is None:
+            cell = self._m_verdicts.bind(
+                subfarm=self.name, vlan=str(record.vlan),
+                verdict=verdict, proto=proto)
+            self._verdict_cells[cell_key] = cell
+        cell.inc()
+        self._h_shim_rtt.observe(self.sim.now - record.created_at)
         if not self.telemetry.enabled:
             return
         span = self._shim_spans.pop(record.mux_port, None)
@@ -754,6 +1080,7 @@ class SubfarmRouter:
                 record.shaper = TokenBucket(decision.rate)
             if leftover:
                 self._deliver_cs_content(record, leftover)
+            self._fastpath_install(record)
             return
 
         endpoint = verdict.endpoint_op
@@ -761,6 +1088,7 @@ class SubfarmRouter:
             record.phase = FlowPhase.DROPPED
             self._teardown_cs_leg(record)
             self._synthesize_client_rst(record)
+            self._fastpath_install(record)
             return
 
         # FORWARD / LIMIT / REDIRECT / REFLECT: resolve destination,
@@ -796,6 +1124,7 @@ class SubfarmRouter:
             self._register_dst_alias(record)
             while record.udp_pending:
                 self._send_udp_to_dst(record, record.udp_pending.popleft())
+            self._fastpath_install(record)
 
     def _classify_destination(self, record: FlowRecord) -> None:
         """Work out whether the enforced destination is an inmate, a
@@ -871,6 +1200,7 @@ class SubfarmRouter:
             )
             record.client_fin_relayed = True
             self._send_to_dst(record, fin, raw=True)
+        self._fastpath_install(record)
 
     def _register_dst_alias(self, record: FlowRecord) -> None:
         """Register the directed tuple of return traffic from the
@@ -883,6 +1213,7 @@ class SubfarmRouter:
                 record.orig.orig_ip, record.orig.orig_port, record.orig.proto,
             )
             self._index[alias] = record
+            record.index_keys.append(alias)
             return
         if record.dst_is_inmate_vlan is not None or record.dst_ip in self.service_ips:
             local_ip = record.orig.orig_ip
@@ -893,6 +1224,7 @@ class SubfarmRouter:
             local_ip, record.orig.orig_port, record.orig.proto,
         )
         self._index[alias] = record
+        record.index_keys.append(alias)
 
     # ------------------------------------------------------------------
     # Emission toward each party
@@ -1027,6 +1359,10 @@ class SubfarmRouter:
             alias = FiveTuple(packet.dst, segment.dport,
                               local, record.orig.orig_port, PROTO_TCP)
             self._index[alias] = record
+            record.index_keys.append(alias)
+            # If another flow had compiled a handler on this tuple, the
+            # index now routes it here — drop the stale handler.
+            self._fastpath.pop(self._fp_key(alias), None)
         out = segment.copy()
         out.sport = record.orig.orig_port
         src = record.nat_global or record.orig.orig_ip
@@ -1085,11 +1421,13 @@ class SubfarmRouter:
             record.udp_pending.clear()
             if leftover:
                 self._deliver_udp_to_client(record, leftover)
+            self._fastpath_install(record)
             return
         endpoint = verdict.endpoint_op
         if endpoint == Verdict.DROP:
             record.phase = FlowPhase.DROPPED
             record.udp_pending.clear()
+            self._fastpath_install(record)
             return
         if endpoint in (Verdict.REDIRECT, Verdict.REFLECT):
             record.dst_ip = decision.target_ip
@@ -1110,6 +1448,7 @@ class SubfarmRouter:
         self._register_dst_alias(record)
         while record.udp_pending:
             self._send_udp_to_dst(record, record.udp_pending.popleft())
+        self._fastpath_install(record)
 
     def _deliver_udp_to_client(self, record: FlowRecord, payload: bytes) -> None:
         datagram = UDPDatagram(record.orig.resp_port, record.orig.orig_port,
@@ -1157,6 +1496,7 @@ class SubfarmRouter:
         if notify_client:
             self._synthesize_client_rst(record)
         self._finish_proxy_span(record)
+        self._fastpath_uninstall(record)
         record.phase = FlowPhase.CLOSED
 
     # ------------------------------------------------------------------
@@ -1178,8 +1518,13 @@ class SubfarmRouter:
     # ------------------------------------------------------------------
     def _evict(self, record: FlowRecord) -> None:
         """Drop a record's demux state so its tuples can be reused."""
-        for key in [k for k, r in self._index.items() if r is record]:
-            del self._index[key]
+        self._fastpath_uninstall(record)
+        for key in record.index_keys:
+            # Guard on identity: an alias may have been overwritten by a
+            # newer record, whose entry must survive this eviction.
+            if self._index.get(key) is record:
+                del self._index[key]
+        record.index_keys.clear()
         self._by_mux.pop(record.mux_port, None)
         self._by_nonce.pop(record.nonce_port, None)
         shim_span = self._shim_spans.pop(record.mux_port, None)

@@ -9,21 +9,30 @@ arithmetic for NAT pool management.
 from __future__ import annotations
 
 import struct
-from typing import Iterator, Union
+from typing import Dict, Iterator, Union
 
 
 class IPv4Address:
-    """A 32-bit IPv4 address, hashable and totally ordered."""
+    """A 32-bit IPv4 address, hashable and totally ordered.
+
+    Instances are interned: constructing the same address twice returns
+    the same object (up to a bounded cache), so 5-tuple equality checks
+    in the gateway's flow table usually short-circuit on identity.
+    Treat instances as immutable.
+    """
 
     __slots__ = ("value",)
 
-    def __init__(self, address: Union[str, int, "IPv4Address"]) -> None:
+    _intern: Dict[int, "IPv4Address"] = {}
+    _INTERN_MAX = 65536
+
+    def __new__(cls, address: Union[str, int, "IPv4Address"]) -> "IPv4Address":
         if isinstance(address, IPv4Address):
-            self.value = address.value
-        elif isinstance(address, int):
+            return address
+        if isinstance(address, int):
             if not 0 <= address <= 0xFFFFFFFF:
                 raise ValueError(f"IPv4 value out of range: {address}")
-            self.value = address
+            value = address
         elif isinstance(address, str):
             parts = address.split(".")
             if len(parts) != 4:
@@ -34,9 +43,16 @@ class IPv4Address:
                 if not 0 <= octet <= 255:
                     raise ValueError(f"malformed IPv4 address: {address!r}")
                 value = (value << 8) | octet
-            self.value = value
         else:
             raise TypeError(f"cannot build IPv4Address from {type(address)}")
+        cache = cls._intern
+        self = cache.get(value)
+        if self is None or type(self) is not cls:
+            self = object.__new__(cls)
+            object.__setattr__(self, "value", value)
+            if type(self) is IPv4Address and len(cache) < cls._INTERN_MAX:
+                cache[value] = self
+        return self
 
     def to_bytes(self) -> bytes:
         return struct.pack("!I", self.value)
@@ -141,19 +157,25 @@ class IPv4Network:
 
 
 class MacAddress:
-    """A 48-bit MAC address."""
+    """A 48-bit MAC address.
+
+    Interned like :class:`IPv4Address`; treat instances as immutable.
+    """
 
     __slots__ = ("value",)
 
     BROADCAST_VALUE = 0xFFFFFFFFFFFF
 
-    def __init__(self, address: Union[str, int, "MacAddress"]) -> None:
+    _intern: Dict[int, "MacAddress"] = {}
+    _INTERN_MAX = 16384
+
+    def __new__(cls, address: Union[str, int, "MacAddress"]) -> "MacAddress":
         if isinstance(address, MacAddress):
-            self.value = address.value
-        elif isinstance(address, int):
+            return address
+        if isinstance(address, int):
             if not 0 <= address <= 0xFFFFFFFFFFFF:
                 raise ValueError(f"MAC value out of range: {address}")
-            self.value = address
+            value = address
         elif isinstance(address, str):
             parts = address.split(":")
             if len(parts) != 6:
@@ -164,9 +186,16 @@ class MacAddress:
                 if not 0 <= octet <= 255:
                     raise ValueError(f"malformed MAC address: {address!r}")
                 value = (value << 8) | octet
-            self.value = value
         else:
             raise TypeError(f"cannot build MacAddress from {type(address)}")
+        cache = cls._intern
+        self = cache.get(value)
+        if self is None or type(self) is not cls:
+            self = object.__new__(cls)
+            object.__setattr__(self, "value", value)
+            if type(self) is MacAddress and len(cache) < cls._INTERN_MAX:
+                cache[value] = self
+        return self
 
     @classmethod
     def broadcast(cls) -> "MacAddress":

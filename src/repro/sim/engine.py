@@ -28,10 +28,12 @@ class Event:
 
     Events are created through :meth:`Simulator.schedule` and compared by
     ``(time, seq)`` so the heap pops them deterministically.  Cancelling
-    an event marks it dead; the heap lazily discards dead entries.
+    an event marks it dead; the heap lazily discards dead entries, and
+    the owning simulator compacts the heap when dead entries dominate.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label",
+                 "_sim")
 
     def __init__(
         self,
@@ -40,6 +42,7 @@ class Event:
         callback: Callable[..., None],
         args: tuple,
         label: str = "",
+        sim: "Optional[Simulator]" = None,
     ) -> None:
         self.time = time
         self.seq = seq
@@ -47,10 +50,19 @@ class Event:
         self.args = args
         self.cancelled = False
         self.label = label
+        # Back-reference to the owning simulator while queued, so
+        # cancellation can be accounted for incrementally.  Cleared at
+        # pop time (a cancel after firing is a no-op for accounting).
+        self._sim = sim
 
     def cancel(self) -> None:
         """Mark this event dead; it will be skipped when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -80,6 +92,15 @@ class Simulator:
         it via :meth:`rng`, so a given seed replays identically.
     """
 
+    #: Fire the queue-depth gauge once per this many events rather than
+    #: per event (the stride is virtual-event-count based, so sampling
+    #: stays deterministic under a fixed seed).
+    QUEUE_DEPTH_STRIDE = 1024
+
+    #: Compact the heap once dead entries outnumber live ones and the
+    #: queue is at least this large (small queues aren't worth it).
+    COMPACT_MIN_QUEUE = 64
+
     def __init__(self, seed: int = 0) -> None:
         self._queue: List[Event] = []
         self._seq = itertools.count()
@@ -88,6 +109,9 @@ class Simulator:
         self.seed = seed
         self._rngs: Dict[str, random.Random] = {}
         self.events_processed = 0
+        # Cancelled-but-still-queued entries, maintained incrementally
+        # so ``pending`` is O(1) and compaction can trigger cheaply.
+        self._dead = 0
 
         # Telemetry (disabled by default): the no-op instruments keep
         # the hot loop branch-free; attach_telemetry() swaps them for
@@ -161,10 +185,10 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        event = Event(self._now + delay, next(self._seq), callback, args, label)
+        event = Event(self._now + delay, next(self._seq), callback, args,
+                      label, self)
         heapq.heappush(self._queue, event)
         self._m_scheduled.inc()
-        self._g_queue_depth.set(len(self._queue))
         return event
 
     def schedule_at(
@@ -179,11 +203,36 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at t={time} < now={self._now}"
             )
-        event = Event(time, next(self._seq), callback, args, label)
+        event = Event(time, next(self._seq), callback, args, label, self)
         heapq.heappush(self._queue, event)
         self._m_scheduled.inc()
-        self._g_queue_depth.set(len(self._queue))
         return event
+
+    # ------------------------------------------------------------------
+    # Cancellation accounting and heap compaction
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """Called by :meth:`Event.cancel` while the event is queued."""
+        self._dead += 1
+        if (self._dead * 2 > len(self._queue)
+                and len(self._queue) >= self.COMPACT_MIN_QUEUE):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Pop order is the total order ``(time, seq)`` (seq is unique),
+        so rebuilding the heap cannot perturb determinism.  The list
+        object is mutated in place because :meth:`run` holds a local
+        reference to it.
+        """
+        removed = self._dead
+        if removed == 0:
+            return
+        self._queue[:] = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._dead = 0
+        self._m_cancelled.inc(removed)
 
     # ------------------------------------------------------------------
     # Execution
@@ -198,57 +247,69 @@ class Simulator:
         """
         self._running = True
         processed = 0
+        # Hot-loop kernel: bind everything the per-event path touches to
+        # locals so each iteration pays local loads, not attribute walks.
+        queue = self._queue
+        heappop = heapq.heappop
+        fired = self._m_fired
+        cancelled_c = self._m_cancelled
+        depth_g = self._g_queue_depth
+        h_callback = self._h_callback
+        profile = self.profile_callbacks
+        stride = self.QUEUE_DEPTH_STRIDE
         try:
-            while self._queue:
-                event = self._queue[0]
+            while queue:
+                event = queue[0]
                 if event.cancelled:
-                    heapq.heappop(self._queue)
-                    self._m_cancelled.inc()
+                    heappop(queue)
+                    self._dead -= 1
+                    cancelled_c.inc()
                     continue
                 if until is not None and event.time > until:
                     self._now = until
                     break
                 if max_events is not None and processed >= max_events:
                     break
-                heapq.heappop(self._queue)
+                heappop(queue)
+                event._sim = None
                 self._now = event.time
-                if self.profile_callbacks:
+                if profile:
                     started = perf_counter()
                     event.callback(*event.args)
-                    self._h_callback.observe(perf_counter() - started,
-                                             label=event.effective_label)
+                    h_callback.observe(perf_counter() - started,
+                                       label=event.effective_label)
                 else:
                     event.callback(*event.args)
-                self._m_fired.inc()
-                self._g_queue_depth.set(len(self._queue))
+                fired.inc()
                 processed += 1
                 self.events_processed += 1
+                # Sample the depth gauge on a virtual-event stride: the
+                # trigger is event-count based, so with a fixed seed the
+                # sampled values replay identically.
+                if not self.events_processed % stride:
+                    depth_g.set(len(queue))
             else:
                 if until is not None and until > self._now:
                     self._now = until
         finally:
             self._running = False
+            depth_g.set(len(queue))
         return self._now
 
     def step(self) -> bool:
-        """Run a single event.  Returns False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                self._m_cancelled.inc()
-                continue
-            self._now = event.time
-            event.callback(*event.args)
-            self._m_fired.inc()
-            self._g_queue_depth.set(len(self._queue))
-            self.events_processed += 1
-            return True
-        return False
+        """Run a single event.  Returns False if the queue is empty.
+
+        Shares :meth:`run`'s firing path, so stepped events see the same
+        telemetry instruments and ``profile_callbacks`` handling.
+        """
+        before = self.events_processed
+        self.run(max_events=1)
+        return self.events_processed != before
 
     @property
     def pending(self) -> int:
-        """Number of live events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live events still queued (O(1))."""
+        return len(self._queue) - self._dead
 
     def __repr__(self) -> str:
         return f"<Simulator t={self._now:.3f} pending={self.pending}>"

@@ -141,3 +141,101 @@ class TestProcess:
         process.start()
         sim.run(until=10.0)
         assert ticks == [1.0, 3.0, 7.0]
+
+
+class TestQueueKernel:
+    """The event-loop kernel: O(1) pending, lazy-cancel compaction,
+    and step()'s parity with run()."""
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None)
+                  for i in range(10)]
+        assert sim.pending == 10
+        for event in events[:4]:
+            event.cancel()
+        assert sim.pending == 6
+
+    def test_compaction_purges_dead_events(self):
+        sim = Simulator()
+        keep = [sim.schedule(1000.0 + i, lambda: None) for i in range(10)]
+        doomed = [sim.schedule(float(i + 1), lambda: None)
+                  for i in range(sim.COMPACT_MIN_QUEUE * 2)]
+        for event in doomed:
+            event.cancel()
+        # Compaction fires whenever the dead majority is reached above
+        # the size floor, so the queue must have shrunk far below the
+        # total scheduled; the live events all survive.
+        total = len(keep) + len(doomed)
+        assert len(sim._queue) < total // 2
+        assert sim.pending == len(keep)
+        live = [e for e in sim._queue if not e.cancelled]
+        assert len(live) == len(keep)
+
+    def test_compaction_preserves_firing_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(100):
+            sim.schedule(float(i + 1), fired.append, i)
+        doomed = [sim.schedule(0.5, lambda: None)
+                  for _ in range(200)]
+        for event in doomed:
+            event.cancel()
+        sim.run()
+        assert fired == list(range(100))
+
+    def test_cancel_after_fire_is_noop_for_accounting(self):
+        sim = Simulator()
+        grabbed = []
+        event = sim.schedule(1.0, lambda: None)
+        grabbed.append(event)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        # Cancelling an already-fired event must not corrupt the dead
+        # counter (it is cleared from the queue at pop time).
+        event.cancel()
+        assert sim.pending == 0
+        sim.schedule(3.0, lambda: None)
+        assert sim.pending == 1
+
+    def test_events_processed_counts_fired_only(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        cancelled = sim.schedule(0.5, lambda: None)
+        cancelled.cancel()
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_step_matches_run_instruments(self):
+        from repro.obs.telemetry import Telemetry
+
+        results = []
+        for use_step in (False, True):
+            sim = Simulator()
+            telemetry = Telemetry(clock=lambda: sim.now)
+            sim.attach_telemetry(telemetry, profile_callbacks=True)
+            for i in range(6):
+                sim.schedule(float(i + 1), lambda: None, label="tick")
+            if use_step:
+                while sim.step():
+                    pass
+            else:
+                sim.run()
+            results.append({
+                "fired": telemetry.counter("sim.events.fired").bind().value,
+                "processed": sim.events_processed,
+                "profiled": telemetry.histogram(
+                    "sim.callback.wall_time").bind(label="tick").count,
+                "now": sim.now,
+            })
+        run_result, step_result = results
+        assert step_result == run_result
+
+    def test_step_returns_false_when_idle(self):
+        sim = Simulator()
+        assert sim.step() is False
+        sim.schedule(1.0, lambda: None)
+        assert sim.step() is True
+        assert sim.now == 1.0
+        assert sim.step() is False
