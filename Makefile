@@ -1,7 +1,8 @@
 PYTHON ?= python
+WORKERS ?= 2
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick paper-benches
+.PHONY: test bench bench-quick bench-parallel paper-benches
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -9,8 +10,12 @@ test:
 bench:
 	$(PYTHON) benchmarks/bench_hotpath.py
 
+bench-parallel:
+	$(PYTHON) benchmarks/bench_parallel_scaling.py
+
 bench-quick:
 	$(PYTHON) benchmarks/bench_hotpath.py --quick
+	$(PYTHON) benchmarks/bench_parallel_scaling.py --quick --workers $(WORKERS)
 
 paper-benches:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,216 @@
+"""Parallel campaign scaling: sharded farm sweeps vs a serial run.
+
+Measures the :mod:`repro.parallel` runner on an 8-shard seed sweep of
+complete streaming-farm runs (the ``streaming_farm_shard`` reference
+task), at 1, 2, and 4 workers, and asserts the determinism contract:
+the merged campaign digest at every worker count is byte-identical to
+the serial run of the same :class:`~repro.parallel.Campaign` spec.
+
+Two sweeps are recorded (see docs/PARALLELISM.md for why both):
+
+* ``campaign`` — the headline: each shard is a farm simulation plus a
+  ``detonation_wait`` of real wall-clock time modelling the
+  operational cost that dominates production campaigns (the paper's
+  §6.3 multi-hour malware runs and §7.3 6-10 minute raw-iron reimage
+  cycles are wall time during which the coordinating process only
+  waits).  Parallelism overlaps those waits regardless of core count —
+  this is the regime GQ's independent subfarms were designed for.
+* ``cpu_bound`` — the same sweep with no wait: pure simulation CPU.
+  Its speedup tracks the host's core count (recorded alongside), so a
+  single-core CI box will honestly show ~1x here while multi-core
+  hardware scales.
+
+``--quick`` (CI smoke) runs a small sweep, asserts serial-vs-parallel
+digest parity and merged-telemetry parity, checks that a killed worker
+fails only its shard, and exits non-zero on any violation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py          # writes BENCH_parallel.json
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.parallel import Campaign, ShardSpec, run_campaign
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FARM_TASK = "repro.parallel.tasks:streaming_farm_shard"
+
+
+def build_sweep(shards: int, base_seed: int, detonation_wait: float,
+                subfarms: int, inmates: int, rounds: int,
+                duration: float) -> Campaign:
+    return Campaign.seed_sweep(
+        "parallel-scaling",
+        FARM_TASK,
+        params={
+            "subfarms": subfarms,
+            "inmates": inmates,
+            "rounds": rounds,
+            "duration": duration,
+            "detonation_wait": detonation_wait,
+        },
+        count=shards,
+        base_seed=base_seed,
+    )
+
+
+def run_sweep(campaign: Campaign, worker_counts) -> dict:
+    """Run the same campaign at each worker count; verify digests."""
+    runs = {}
+    for workers in worker_counts:
+        result = run_campaign(campaign, workers=workers)
+        runs[workers] = result
+    serial = runs[worker_counts[0]]
+    assert serial.workers == 1, "first worker count must be the serial run"
+    out = {
+        "digest": serial.digest,
+        "spec_digest": serial.spec_digest,
+        "digest_parity": {},
+        "workers": {},
+    }
+    for workers, result in runs.items():
+        match = result.digest == serial.digest
+        out["digest_parity"][str(workers)] = match
+        out["workers"][str(workers)] = {
+            "wall_seconds": round(result.wall_seconds, 3),
+            "ok": result.ok,
+            "failures": len(result.failures),
+            "speedup": round(
+                serial.wall_seconds / result.wall_seconds, 3)
+            if result.wall_seconds else 0.0,
+        }
+    out["parity_ok"] = all(out["digest_parity"].values())
+    out["telemetry_parity"] = all(
+        runs[w].merged.get("telemetry")
+        == serial.merged.get("telemetry")
+        for w in worker_counts
+    )
+    return out
+
+
+def run_crash_isolation(workers: int = 2) -> dict:
+    """A campaign with one worker-killing shard must complete, with
+    exactly that shard reporting a structured crash."""
+    specs = [
+        ShardSpec(0, "repro.parallel.tasks:noop_shard", {"seed": 1}),
+        ShardSpec(1, "repro.parallel.tasks:crashing_shard", {"seed": 2}),
+        ShardSpec(2, "repro.parallel.tasks:noop_shard", {"seed": 3}),
+        ShardSpec(3, "repro.parallel.tasks:noop_shard", {"seed": 4}),
+    ]
+    result = run_campaign(Campaign("crash-isolation", specs),
+                          workers=workers, chunk_size=1)
+    failures = result.failures
+    ok = (
+        len(result.shard_results) == 4
+        and len(failures) == 1
+        and failures[0]["shard"] == 1
+        and failures[0]["kind"] == "crash"
+        and all(r.ok for r in result.shard_results if r.index != 1)
+    )
+    return {"ok": ok, "failures": failures}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="parity + crash-isolation smoke (CI); "
+                             "no JSON file")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="--quick parallel worker count "
+                             "(1 exercises only the serial fallback)")
+    parser.add_argument("--shards", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--subfarms", type=int, default=2)
+    parser.add_argument("--inmates", type=int, default=4)
+    parser.add_argument("--rounds", type=int, default=100)
+    parser.add_argument("--duration", type=float, default=200.0)
+    parser.add_argument("--detonation-wait", type=float, default=3.5,
+                        help="modelled wall-clock detonation/reimage "
+                             "time per shard (campaign sweep)")
+    parser.add_argument("--output", default=os.path.join(
+        REPO_ROOT, "BENCH_parallel.json"))
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        worker_counts = [1] if args.workers <= 1 \
+            else [1, args.workers]
+        campaign = build_sweep(4, args.seed, detonation_wait=0.0,
+                               subfarms=2, inmates=2, rounds=40,
+                               duration=90.0)
+        sweep = run_sweep(campaign, worker_counts)
+        crash = run_crash_isolation(workers=max(2, args.workers)) \
+            if args.workers > 1 else {"ok": True, "skipped": "serial"}
+        print(json.dumps({"sweep": sweep, "crash_isolation": crash},
+                         indent=2))
+        if not sweep["parity_ok"]:
+            print("FAIL: serial vs parallel campaign digests differ",
+                  file=sys.stderr)
+            return 1
+        if not sweep["telemetry_parity"]:
+            print("FAIL: merged telemetry snapshots differ",
+                  file=sys.stderr)
+            return 1
+        if not crash["ok"]:
+            print("FAIL: crash isolation violated", file=sys.stderr)
+            return 1
+        print("parallel determinism OK")
+        return 0
+
+    worker_counts = [1, 2, 4]
+    farm_params = dict(subfarms=args.subfarms, inmates=args.inmates,
+                       rounds=args.rounds, duration=args.duration)
+
+    campaign_sweep = run_sweep(
+        build_sweep(args.shards, args.seed,
+                    detonation_wait=args.detonation_wait, **farm_params),
+        worker_counts)
+    cpu_sweep = run_sweep(
+        build_sweep(args.shards, args.seed, detonation_wait=0.0,
+                    **farm_params),
+        worker_counts)
+    crash = run_crash_isolation()
+
+    result = {
+        "benchmark": "bench_parallel_scaling",
+        "config": {
+            "shards": args.shards,
+            "seed": args.seed,
+            "detonation_wait": args.detonation_wait,
+            "host_cpus": os.cpu_count(),
+            "sched_cpus": len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity") else None,
+            "python": sys.version.split()[0],
+            **farm_params,
+        },
+        "campaign": campaign_sweep,
+        "cpu_bound": cpu_sweep,
+        "crash_isolation": crash,
+        "speedup_at_4_workers": campaign_sweep["workers"]["4"]["speedup"],
+    }
+    print(json.dumps(result, indent=2))
+    with open(args.output, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {args.output}")
+
+    ok = (campaign_sweep["parity_ok"] and cpu_sweep["parity_ok"]
+          and campaign_sweep["telemetry_parity"] and crash["ok"])
+    if result["speedup_at_4_workers"] < 2.5:
+        print(f"WARN: campaign speedup at 4 workers is "
+              f"{result['speedup_at_4_workers']}x (< 2.5x target)",
+              file=sys.stderr)
+    if not ok:
+        print("FAIL: determinism or isolation contract violated",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

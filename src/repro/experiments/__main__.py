@@ -1,0 +1,180 @@
+"""``python -m repro.experiments`` — run experiments from the shell.
+
+Every experiment that fans out over independent whole-farm runs takes
+``--workers N`` (sharded across a spawn-safe worker pool, see
+docs/PARALLELISM.md) and prints a JSON summary to stdout::
+
+    python -m repro.experiments list
+    python -m repro.experiments gateway-load-sweep --workers 4 --seeds 0..7
+    python -m repro.experiments smtp-strictness --workers 2 --duration 300
+    python -m repro.experiments containment-tradeoff --workers 4
+    python -m repro.experiments streaming-farm --workers 2 --seeds 1..4
+
+``--seeds a..b`` is an inclusive range; a comma list (``1,5,9``) also
+works.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+
+def parse_seeds(text: str) -> List[int]:
+    """``"0..7"`` (inclusive) or ``"1,5,9"`` or a single ``"4"``."""
+    text = text.strip()
+    if ".." in text:
+        low, _, high = text.partition("..")
+        first, last = int(low), int(high)
+        if last < first:
+            raise ValueError(f"empty seed range: {text!r}")
+        return list(range(first, last + 1))
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _campaign_summary(result) -> dict:
+    summary = result.to_dict()
+    # Per-shard telemetry snapshots make CLI output unwieldy; the
+    # merged labeled snapshot stays.
+    for shard in summary["shards"]:
+        if shard["payload"]:
+            shard["payload"].pop("telemetry", None)
+    return summary
+
+
+# ----------------------------------------------------------------------
+# Experiment runners
+# ----------------------------------------------------------------------
+def _run_gateway_load_sweep(args) -> dict:
+    from repro.experiments.scalability import run_gateway_load_sweep
+
+    result = run_gateway_load_sweep(
+        seeds=args.seeds, count=args.count, base_seed=args.seed,
+        subfarms=args.subfarms, inmates_per=args.inmates_per,
+        duration=args.duration, workers=args.workers)
+    return _campaign_summary(result)
+
+
+def _run_streaming_farm(args) -> dict:
+    from repro.parallel import Campaign, run_campaign
+
+    campaign = Campaign.seed_sweep(
+        "streaming-farm-sweep",
+        "repro.parallel.tasks:streaming_farm_shard",
+        params={"subfarms": args.subfarms, "inmates": args.inmates_per,
+                "duration": args.duration},
+        seeds=args.seeds,
+        count=None if args.seeds is not None else args.count,
+        base_seed=args.seed)
+    return _campaign_summary(run_campaign(campaign, workers=args.workers))
+
+
+def _run_smtp_strictness(args) -> dict:
+    from repro.experiments.smtp_strictness import run_matrix
+
+    matrix = run_matrix(duration=args.duration, seed=args.seed,
+                        workers=args.workers)
+    return {
+        "experiment": "smtp-strictness",
+        "duration": args.duration,
+        "cells": {
+            f"{family}/{strictness}": {
+                "sessions": cell.sessions,
+                "data_transfers": cell.data_transfers,
+                "content_ratio": round(cell.content_ratio, 4),
+            }
+            for (family, strictness), cell in sorted(matrix.items())
+        },
+    }
+
+
+def _run_containment_tradeoff(args) -> dict:
+    from repro.experiments.containment_tradeoff import run_all_regimes
+
+    regimes = run_all_regimes(duration=args.duration, seed=args.seed,
+                              workers=args.workers)
+    return {
+        "experiment": "containment-tradeoff",
+        "duration": args.duration,
+        "regimes": {
+            name: {
+                "behaviour_score": result.behaviour_score,
+                "harm_score": result.harm_score,
+                "families_active": result.families_active,
+                "spam_harvested": result.spam_harvested,
+                "inmates_blacklisted": result.inmates_blacklisted,
+            }
+            for name, result in sorted(regimes.items())
+        },
+    }
+
+
+EXPERIMENTS = {
+    "gateway-load-sweep": (
+        _run_gateway_load_sweep,
+        "seed sweep of §7.2 gateway-load farm runs (scalability)",
+        {"duration": 120.0, "seed": 6},
+    ),
+    "streaming-farm": (
+        _run_streaming_farm,
+        "seed sweep of streaming whole-farm runs (the parallel "
+        "benchmark workload)",
+        {"duration": 120.0, "seed": 11},
+    ),
+    "smtp-strictness": (
+        _run_smtp_strictness,
+        "§7.1 sink strictness × spambot dialect matrix",
+        {"duration": 600.0, "seed": 11},
+    ),
+    "containment-tradeoff": (
+        _run_containment_tradeoff,
+        "§3/§8 behaviour-vs-harm regimes over the mixed population",
+        {"duration": 900.0, "seed": 77},
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list runnable experiments")
+    for name, (_, help_text, defaults) in EXPERIMENTS.items():
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--workers", type=int, default=1,
+                         help="worker processes (1 = serial in-process)")
+        cmd.add_argument("--seeds", type=parse_seeds, default=None,
+                         metavar="A..B",
+                         help="inclusive seed range or comma list")
+        cmd.add_argument("--count", type=int, default=8,
+                         help="shards when --seeds is not given "
+                              "(sweep experiments)")
+        cmd.add_argument("--seed", type=int, default=defaults["seed"],
+                         help="base seed")
+        cmd.add_argument("--duration", type=float,
+                         default=defaults["duration"],
+                         help="virtual seconds per farm run")
+        cmd.add_argument("--subfarms", type=int, default=3)
+        cmd.add_argument("--inmates-per", type=int, default=4)
+        cmd.add_argument("--indent", type=int, default=2)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        for name, (_, help_text, _defaults) in EXPERIMENTS.items():
+            print(f"{name:<22} {help_text}")
+        return 0
+    runner = EXPERIMENTS[args.command][0]
+    summary = runner(args)
+    print(json.dumps(summary, indent=args.indent, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -160,7 +160,54 @@ def run_regime(regime: str, duration: float = 900.0,
     return result
 
 
-def run_all_regimes(duration: float = 900.0,
-                    seed: int = 77) -> Dict[str, RegimeResult]:
-    return {regime: run_regime(regime, duration, seed)
-            for regime in REGIMES}
+_REGIME_FIELDS = (
+    "cnc_fetches", "spam_sessions_attempted", "spam_harvested",
+    "clicks_attempted", "families_active", "spam_delivered_outside",
+    "clicks_on_real_publishers", "inmates_blacklisted",
+)
+
+
+def regime_shard(regime: str, duration: float = 900.0,
+                 seed: int = 77) -> dict:
+    """Shard task: one regime over the mixed population, as a
+    JSON-safe dict — importable by spawn-started campaign workers."""
+    result = run_regime(regime, duration, seed)
+    payload = {"regime": regime}
+    payload.update({field: getattr(result, field)
+                    for field in _REGIME_FIELDS})
+    payload["metrics"] = {
+        "behaviour_score": result.behaviour_score,
+        "harm_score": result.harm_score,
+        "spam_harvested": result.spam_harvested,
+    }
+    return payload
+
+
+def _regime_from_payload(payload: dict) -> RegimeResult:
+    result = RegimeResult(payload["regime"])
+    for field in _REGIME_FIELDS:
+        setattr(result, field, payload[field])
+    return result
+
+
+def run_all_regimes(duration: float = 900.0, seed: int = 77,
+                    workers: int = 1) -> Dict[str, RegimeResult]:
+    """Every regime against the same universe — four independent farm
+    runs, fanned out across a campaign worker pool (``workers=1`` =
+    hermetic serial fallback)."""
+    from repro.parallel import Campaign, run_campaign
+
+    campaign = Campaign.config_sweep(
+        "containment-tradeoff",
+        "repro.experiments.containment_tradeoff:regime_shard",
+        [{"regime": regime, "duration": duration, "seed": seed}
+         for regime in REGIMES],
+        base_seed=seed,
+        labels=list(REGIMES),
+    )
+    result = run_campaign(campaign, workers=workers)
+    if not result.ok:
+        raise RuntimeError(
+            f"containment-tradeoff shards failed: {result.failures}")
+    return {payload["regime"]: _regime_from_payload(payload)
+            for payload in result.payloads()}

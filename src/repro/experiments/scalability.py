@@ -163,6 +163,79 @@ def run_gateway_load(
     return result
 
 
+# ----------------------------------------------------------------------
+# Sharded campaign wiring (repro.parallel)
+# ----------------------------------------------------------------------
+def gateway_load_shard(seed: int, subfarms: int = 3, inmates_per: int = 4,
+                       flow_interval: float = 5.0,
+                       duration: float = 120.0) -> dict:
+    """Shard task: one gateway-load farm run, digested.
+
+    Module-level and JSON-in/JSON-out so spawn-started campaign
+    workers can import it by name
+    (``"repro.experiments.scalability:gateway_load_shard"``).
+    """
+    import hashlib
+    import json as _json
+
+    result = run_gateway_load(subfarms=subfarms, inmates_per=inmates_per,
+                              flow_interval=flow_interval,
+                              duration=duration, seed=seed)
+    digest = hashlib.sha256()
+    digest.update(_json.dumps({
+        "seed": seed,
+        "packets_relayed": result.packets_relayed,
+        "flows_created": result.flows_created,
+        "events": result.events_processed,
+        "simulated": result.simulated_seconds,
+    }, sort_keys=True).encode())
+    return {
+        "seed": seed,
+        "subfarms": subfarms,
+        "inmates_per": inmates_per,
+        "metrics": {
+            "packets_relayed": result.packets_relayed,
+            "flows_created": result.flows_created,
+            "events": result.events_processed,
+        },
+        "flows_per_simulated_second":
+            result.flows_per_simulated_second,
+        "digest": digest.hexdigest(),
+    }
+
+
+def run_gateway_load_sweep(
+    seeds=None,
+    count: int = 8,
+    base_seed: int = 6,
+    subfarms: int = 3,
+    inmates_per: int = 4,
+    flow_interval: float = 5.0,
+    duration: float = 120.0,
+    workers: int = 1,
+):
+    """The paper's operating point as a seed sweep: N independent
+    whole-farm gateway-load runs fanned out across a worker pool
+    (``workers=1`` = hermetic serial fallback) and merged
+    deterministically — see docs/PARALLELISM.md."""
+    from repro.parallel import Campaign, run_campaign
+
+    campaign = Campaign.seed_sweep(
+        "gateway-load-sweep",
+        "repro.experiments.scalability:gateway_load_shard",
+        params={
+            "subfarms": subfarms,
+            "inmates_per": inmates_per,
+            "flow_interval": flow_interval,
+            "duration": duration,
+        },
+        seeds=seeds,
+        count=None if seeds is not None else count,
+        base_seed=base_seed,
+    )
+    return run_campaign(campaign, workers=workers)
+
+
 def vlan_capacity_demo() -> Dict[str, int]:
     """The 802.1Q 12-bit ceiling, §7.2 constraint number one."""
     pool = VlanPool()

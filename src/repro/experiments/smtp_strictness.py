@@ -79,11 +79,61 @@ def run_cell(family: str, strictness: Strictness,
     return cell
 
 
-def run_matrix(duration: float = 600.0,
-               seed: int = 11) -> Dict[Tuple[str, str], StrictnessCell]:
+def strictness_cell_shard(family: str, strictness: str,
+                          duration: float = 600.0,
+                          seed: int = 11) -> dict:
+    """Shard task: one (family, strictness) cell as a JSON-safe dict —
+    importable by spawn-started campaign workers."""
+    cell = run_cell(family, Strictness(strictness), duration, seed)
+    return {
+        "family": cell.family,
+        "strictness": strictness,
+        "sessions": cell.sessions,
+        "data_transfers": cell.data_transfers,
+        "metrics": {
+            "sessions": cell.sessions,
+            "data_transfers": cell.data_transfers,
+        },
+    }
+
+
+def _cell_from_payload(payload: dict) -> StrictnessCell:
+    cell = StrictnessCell(payload["family"],
+                          Strictness(payload["strictness"]))
+    cell.sessions = payload["sessions"]
+    cell.data_transfers = payload["data_transfers"]
+    return cell
+
+
+def run_matrix(duration: float = 600.0, seed: int = 11,
+               workers: int = 1) -> Dict[Tuple[str, str], StrictnessCell]:
+    """The full family × strictness matrix, one farm per cell.
+
+    Cells are independent whole-farm runs, so they fan out across a
+    campaign worker pool; ``workers=1`` (the default, and what tests
+    use) runs every cell serially in-process.  Either way the cells
+    are built from identical per-shard payloads.
+    """
+    from repro.parallel import Campaign, run_campaign
+
+    grid = [
+        {"family": family, "strictness": strictness.value,
+         "duration": duration, "seed": seed}
+        for family in FAMILIES for strictness in STRICTNESS
+    ]
+    campaign = Campaign.config_sweep(
+        "smtp-strictness-matrix",
+        "repro.experiments.smtp_strictness:strictness_cell_shard",
+        grid,
+        base_seed=seed,
+        labels=[f"{cell['family']}/{cell['strictness']}" for cell in grid],
+    )
+    result = run_campaign(campaign, workers=workers)
+    if not result.ok:
+        raise RuntimeError(
+            f"strictness matrix shards failed: {result.failures}")
     out: Dict[Tuple[str, str], StrictnessCell] = {}
-    for family in FAMILIES:
-        for strictness in STRICTNESS:
-            cell = run_cell(family, strictness, duration, seed)
-            out[(family, strictness.value)] = cell
+    for payload in result.payloads():
+        cell = _cell_from_payload(payload)
+        out[(cell.family, cell.strictness.value)] = cell
     return out

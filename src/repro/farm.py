@@ -79,6 +79,51 @@ class FarmConfig:
         self.telemetry_snapshot_interval = telemetry_snapshot_interval
         self.profile_callbacks = profile_callbacks
 
+    # ------------------------------------------------------------------
+    # Serialization — ships configs to campaign workers
+    # (repro.parallel) and logs the exact config a run used.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-safe dict that :meth:`from_dict` round-trips."""
+        return {
+            "seed": self.seed,
+            "global_networks": [str(net) for net in self.global_networks],
+            "control_network": str(self.control_network),
+            "inbound_mode": self.inbound_mode.value,
+            "safety_max_flows_per_window": self.safety_max_flows_per_window,
+            "safety_max_flows_per_destination":
+                self.safety_max_flows_per_destination,
+            "safety_window": self.safety_window,
+            "telemetry": self.telemetry,
+            "telemetry_snapshot_interval": self.telemetry_snapshot_interval,
+            "profile_callbacks": self.profile_callbacks,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FarmConfig":
+        """Rebuild a config from :meth:`to_dict` output (unknown keys
+        rejected so config drift fails loudly)."""
+        known = {
+            "seed", "global_networks", "control_network", "inbound_mode",
+            "safety_max_flows_per_window",
+            "safety_max_flows_per_destination", "safety_window",
+            "telemetry", "telemetry_snapshot_interval",
+            "profile_callbacks",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown FarmConfig keys: {sorted(unknown)}")
+        kwargs = dict(data)
+        if "inbound_mode" in kwargs:
+            kwargs["inbound_mode"] = InboundMode(kwargs["inbound_mode"])
+        return cls(**kwargs)
+
+    def __repr__(self) -> str:
+        return (f"<FarmConfig seed={self.seed} "
+                f"inbound={self.inbound_mode.value} "
+                f"telemetry={self.telemetry}>")
+
 
 class Subfarm:
     """One independent habitat: router + containment server + services."""

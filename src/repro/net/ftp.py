@@ -46,7 +46,10 @@ class FtpServerEngine:
         self._reply(220, banner)
 
     def _reply(self, code: int, text: str) -> None:
-        self._send(f"{code} {text}".encode("latin-1") + CRLF)
+        # Replies can echo client-supplied bytes (unknown verbs); e.g.
+        # b"\xb5".decode("latin-1").upper() leaves latin-1's range, so
+        # the echo must never crash the server.
+        self._send(f"{code} {text}".encode("latin-1", "replace") + CRLF)
 
     def feed(self, data: bytes) -> None:
         self._buffer.extend(data)

@@ -12,10 +12,13 @@ Layout:
 * :mod:`repro.obs.trace` — per-flow spans on the simulation clock,
 * :mod:`repro.obs.hub` — ring-buffered structured events,
 * :mod:`repro.obs.telemetry` — the facade (plus the disabled no-op),
-* :mod:`repro.obs.export` — JSON/text snapshot exporters.
+* :mod:`repro.obs.export` — JSON/text snapshot exporters,
+* :mod:`repro.obs.merge` — shard-labeled snapshot relabeling/merging
+  for parallel campaigns (:mod:`repro.parallel`).
 """
 
 from repro.obs.export import render_text, snapshot, to_json
+from repro.obs.merge import label_identity, label_snapshot, merge_snapshots
 from repro.obs.hub import NULL_HUB, TelemetryEvent, TelemetryHub
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -40,6 +43,9 @@ __all__ = [
     "NULL_TELEMETRY",
     "NULL_TRACER",
     "NullTelemetry",
+    "label_identity",
+    "label_snapshot",
+    "merge_snapshots",
     "Span",
     "Telemetry",
     "TelemetryEvent",

@@ -1,0 +1,130 @@
+"""Snapshot relabeling and merging for sharded campaigns.
+
+A parallel campaign (:mod:`repro.parallel`) produces one telemetry
+snapshot per shard, each captured by :func:`repro.obs.export.snapshot`
+inside its own process.  To view a campaign as one telemetry domain
+without losing per-shard attribution — or determinism — the merge
+
+* stamps every metric identity with the shard's labels
+  (``name{a=b}`` becomes ``name{a=b,shard=3}``, labels re-sorted so
+  identities stay canonical),
+* unions the relabeled metric maps (colliding identities are a
+  caller bug and raise),
+* prefixes retained trace ids with the shard labels, and
+* sums hub/tracer accounting while taking the max virtual time.
+
+Relabeling instead of summing keeps the merge lossless and
+order-independent: merging the same shard snapshots in any order, from
+any number of worker processes, yields byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["label_identity", "label_snapshot", "merge_snapshots"]
+
+_METRIC_SECTIONS = ("counters", "gauges", "histograms")
+
+
+def _parse_identity(identity: str) -> Tuple[str, List[Tuple[str, str]]]:
+    name, brace, rest = identity.partition("{")
+    if not brace:
+        return identity, []
+    inner = rest[:-1] if rest.endswith("}") else rest
+    labels = []
+    for pair in inner.split(","):
+        if not pair:
+            continue
+        key, _, value = pair.partition("=")
+        labels.append((key, value))
+    return name, labels
+
+
+def label_identity(identity: str, **labels: str) -> str:
+    """Add labels to a rendered metric identity, keeping sorted order."""
+    name, existing = _parse_identity(identity)
+    merged = dict(existing)
+    for key, value in labels.items():
+        if key in merged and merged[key] != str(value):
+            raise ValueError(
+                f"label {key!r} already set on {identity!r} "
+                f"({merged[key]!r} != {value!r})")
+        merged[key] = str(value)
+    if not merged:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(merged.items()))
+    return f"{name}{{{inner}}}"
+
+
+def _label_prefix(labels: Dict[str, str]) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def label_snapshot(snap: dict, **labels: str) -> dict:
+    """A copy of ``snap`` with every metric identity (and trace id)
+    carrying the extra labels."""
+    if not labels:
+        return dict(snap)
+    out = dict(snap)
+    for section in _METRIC_SECTIONS:
+        out[section] = {
+            label_identity(identity, **labels): value
+            for identity, value in snap.get(section, {}).items()
+        }
+    prefix = _label_prefix({k: str(v) for k, v in labels.items()})
+    out["traces"] = {
+        f"{prefix}/{trace_id}": spans
+        for trace_id, spans in snap.get("traces", {}).items()
+    }
+    return out
+
+
+def merge_snapshots(snaps: List[dict],
+                    labels: Optional[List[Dict[str, str]]] = None) -> dict:
+    """Merge shard snapshots into one labeled campaign snapshot.
+
+    ``labels[i]`` (e.g. ``{"shard": "3"}``) is applied to ``snaps[i]``
+    before the union; omit it only when identities are already
+    disjoint.  Raises ``ValueError`` on identity collisions.
+    """
+    if labels is not None and len(labels) != len(snaps):
+        raise ValueError("need exactly one label set per snapshot")
+    merged: dict = {
+        "schema": None,
+        "enabled": False,
+        "time": 0.0,
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "traces": {},
+        "hub": {"published": 0, "retained": 0, "evicted": 0},
+        "tracer": {"spans": 0, "traces": 0, "evicted": 0},
+    }
+    for position, snap in enumerate(snaps):
+        if labels is not None:
+            snap = label_snapshot(snap, **labels[position])
+        if merged["schema"] is None:
+            merged["schema"] = snap.get("schema")
+        elif snap.get("schema") != merged["schema"]:
+            raise ValueError(
+                f"snapshot schema mismatch: {snap.get('schema')!r} "
+                f"!= {merged['schema']!r}")
+        merged["enabled"] = merged["enabled"] or bool(snap.get("enabled"))
+        merged["time"] = max(merged["time"], snap.get("time", 0.0))
+        for section in _METRIC_SECTIONS + ("traces",):
+            target = merged[section]
+            for identity, value in snap.get(section, {}).items():
+                if identity in target:
+                    raise ValueError(
+                        f"identity collision while merging snapshots: "
+                        f"{identity!r} (pass labels= to disambiguate)")
+                target[identity] = value
+        for group in ("hub", "tracer"):
+            for key, value in snap.get(group, {}).items():
+                merged[group][key] = merged[group].get(key, 0) + value
+    # Canonical ordering so merged snapshots render byte-identically
+    # regardless of shard arrival order.
+    for section in _METRIC_SECTIONS + ("traces",):
+        merged[section] = dict(sorted(merged[section].items()))
+    return merged

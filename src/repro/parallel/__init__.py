@@ -1,0 +1,41 @@
+"""Sharded campaign execution: parallel farm runs, deterministic merge.
+
+GQ's subfarms are independent habitats so that experiments can proceed
+in parallel (§3); this package gives the reproduction the same
+property at the *campaign* level — seed sweeps, config sweeps, and
+named experiments fan out across a spawn-safe worker pool and merge
+back into one deterministic result.
+
+* :mod:`repro.parallel.campaign` — :class:`Campaign`/:class:`ShardSpec`
+  descriptions and :func:`derive_seed`,
+* :mod:`repro.parallel.pool` — the warm worker pool
+  (:func:`run_campaign`), with chunked batching, per-shard timeouts,
+  and crash isolation,
+* :mod:`repro.parallel.merge` — the ordered merge and campaign digest,
+* :mod:`repro.parallel.tasks` — reference shard tasks.
+
+See ``docs/PARALLELISM.md`` for the sharding model and the determinism
+contract.
+"""
+
+from repro.parallel.campaign import (
+    Campaign,
+    ShardSpec,
+    derive_seed,
+    resolve_task,
+    task_name,
+)
+from repro.parallel.merge import CampaignResult, campaign_digest
+from repro.parallel.pool import ShardResult, run_campaign
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "ShardResult",
+    "ShardSpec",
+    "campaign_digest",
+    "derive_seed",
+    "resolve_task",
+    "run_campaign",
+    "task_name",
+]

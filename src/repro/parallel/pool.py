@@ -1,0 +1,390 @@
+"""The sharded campaign runner: a spawn-safe warm worker pool.
+
+Design (mirrors the farm itself: independent habitats, one merge
+point):
+
+* **Spawn-safe.**  Workers are started with the ``spawn`` start
+  method, so each worker is a fresh interpreter that imports shard
+  tasks by name — no reliance on fork-inherited state, identical
+  behaviour on Linux/macOS/Windows, and no risk of a forked copy of a
+  half-built farm.
+* **Warm reuse.**  A worker stays alive across shards; the interpreter
+  and ``repro`` import cost is paid once per worker, not per shard.
+* **Chunked batching.**  Shards are dispatched in chunks to bound
+  round-trip chatter on large campaigns; chunking never changes
+  results because shards are independent and the merge orders by
+  index.
+* **Crash isolation.**  Every worker owns a private duplex pipe.  A
+  worker announces each shard (``start``) before executing it, so when
+  a worker dies — crash, OOM-kill, or the pool enforcing a shard
+  timeout — the master knows exactly which shard was in flight: that
+  shard fails with a structured error, the unstarted remainder of its
+  chunk is requeued, and a replacement worker is spawned.  A dead
+  worker fails its shard, never the campaign.
+* **Serial fallback.**  ``workers=1`` (or 0) runs every shard in-process
+  through the *same* execution function workers use — no subprocess,
+  no pipes — so tests stay hermetic and digests comparable.
+
+Wall-clock timeouts are only enforceable when shards run in
+subprocesses; the serial path documents rather than enforces them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.parallel.campaign import Campaign, ShardSpec, resolve_task
+from repro.parallel.merge import CampaignResult, merge_results
+
+__all__ = [
+    "ShardResult",
+    "run_campaign",
+    "DEFAULT_CHUNK_FACTOR",
+]
+
+# Chunks per worker the auto chunk size aims for: small enough that a
+# late straggler cannot hold a whole campaign's tail, large enough to
+# amortize dispatch round trips.
+DEFAULT_CHUNK_FACTOR = 4
+
+
+class ShardResult:
+    """Outcome of one shard: payload on success, structured error not
+    an exception on failure (``kind``: error | payload | timeout |
+    crash | pool)."""
+
+    __slots__ = ("index", "label", "ok", "payload", "error", "seconds",
+                 "worker")
+
+    def __init__(self, index: int, label: str, ok: bool,
+                 payload: Optional[dict], error: Optional[dict],
+                 seconds: float, worker: Optional[int] = None) -> None:
+        self.index = index
+        self.label = label
+        self.ok = ok
+        self.payload = payload
+        self.error = error
+        self.seconds = seconds
+        self.worker = worker
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "ok": self.ok,
+            "payload": self.payload,
+            "error": self.error,
+            "seconds": round(self.seconds, 6),
+            "worker": self.worker,
+        }
+
+    def __repr__(self) -> str:
+        state = "ok" if self.ok else (self.error or {}).get("kind", "failed")
+        return f"<ShardResult {self.index} {self.label} {state}>"
+
+
+# ----------------------------------------------------------------------
+# Shard execution — shared by the serial path and worker processes
+# ----------------------------------------------------------------------
+def _execute_spec(spec_dict: dict) -> dict:
+    """Run one shard spec; always returns a structured result dict."""
+    started = time.perf_counter()
+
+    def failure(kind: str, exc: BaseException) -> dict:
+        return {
+            "ok": False,
+            "payload": None,
+            "error": {
+                "kind": kind,
+                "message": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(limit=20),
+            },
+            "seconds": time.perf_counter() - started,
+        }
+
+    try:
+        fn = resolve_task(spec_dict["task"])
+        payload = fn(**spec_dict.get("params", {}))
+    except Exception as exc:  # noqa: BLE001 — becomes a structured error
+        return failure("error", exc)
+    try:
+        if not isinstance(payload, dict):
+            raise TypeError(
+                f"shard task returned {type(payload).__name__}, "
+                "expected a JSON-safe dict")
+        # The JSON round trip is the wire contract: whatever crosses
+        # process boundaries must survive it, so enforce it in both
+        # the serial and subprocess paths for identical behaviour.
+        payload = json.loads(json.dumps(payload))
+    except Exception as exc:  # noqa: BLE001
+        return failure("payload", exc)
+    return {"ok": True, "payload": payload, "error": None,
+            "seconds": time.perf_counter() - started}
+
+
+def _worker_main(conn, worker_id: int) -> None:
+    """Worker loop: receive chunks of spec dicts, announce and run each
+    shard, report results, idle until the next chunk or ``stop``."""
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                break
+            assert message[0] == "run", message
+            for spec_dict in message[1]:
+                conn.send(("start", spec_dict["index"]))
+                result = _execute_spec(spec_dict)
+                conn.send(("done", spec_dict["index"], result))
+            conn.send(("idle", worker_id))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class _Worker:
+    """Master-side handle: process, pipe, and in-flight accounting."""
+
+    __slots__ = ("id", "proc", "conn", "chunk", "current", "started",
+                 "done")
+
+    def __init__(self, wid: int, proc, conn) -> None:
+        self.id = wid
+        self.proc = proc
+        self.conn = conn
+        self.chunk: Optional[List[dict]] = None  # specs last dispatched
+        self.current: Optional[int] = None       # shard index in flight
+        self.started: float = 0.0                # monotonic start time
+        self.done: set = set()
+
+    @property
+    def idle(self) -> bool:
+        return self.chunk is None
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+def run_campaign(campaign: Campaign, workers: int = 1,
+                 chunk_size: Optional[int] = None,
+                 default_timeout: Optional[float] = None,
+                 max_respawns: Optional[int] = None) -> CampaignResult:
+    """Run every shard of ``campaign`` and merge deterministically.
+
+    ``workers <= 1`` is the hermetic serial fallback (same execution
+    function, no subprocesses).  ``default_timeout`` applies to shards
+    whose spec does not set its own timeout.
+    """
+    started = time.perf_counter()
+    if workers <= 1 or len(campaign) <= 1:
+        shard_results = _run_serial(campaign)
+        effective_workers = 1
+    else:
+        shard_results = _run_pool(campaign, workers, chunk_size,
+                                  default_timeout, max_respawns)
+        effective_workers = workers
+    return merge_results(campaign, shard_results,
+                         workers=effective_workers,
+                         wall_seconds=time.perf_counter() - started)
+
+
+def _run_serial(campaign: Campaign) -> List[ShardResult]:
+    out = []
+    for spec in campaign:
+        result = _execute_spec(spec.to_dict())
+        out.append(ShardResult(spec.index, spec.label, result["ok"],
+                               result["payload"], result["error"],
+                               result["seconds"], worker=0))
+    return out
+
+
+def _run_pool(campaign: Campaign, workers: int,
+              chunk_size: Optional[int],
+              default_timeout: Optional[float],
+              max_respawns: Optional[int]) -> List[ShardResult]:
+    import multiprocessing as mp
+    from multiprocessing.connection import wait as connection_wait
+
+    ctx = mp.get_context("spawn")
+    specs: Dict[int, ShardSpec] = {s.index: s for s in campaign}
+    total = len(specs)
+    workers = min(workers, total)
+    if chunk_size is None:
+        chunk_size = max(1, total // (workers * DEFAULT_CHUNK_FACTOR) or 1)
+    if max_respawns is None:
+        max_respawns = total  # every shard may kill at most one worker
+
+    pending: deque = deque()
+    ordered = [spec.to_dict() for spec in campaign]
+    for at in range(0, total, chunk_size):
+        pending.append(ordered[at:at + chunk_size])
+
+    results: Dict[int, ShardResult] = {}
+    next_wid = 0
+    respawns_left = max_respawns
+
+    def spawn_worker() -> _Worker:
+        nonlocal next_wid
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(target=_worker_main,
+                           args=(child_conn, next_wid),
+                           name=f"gq-shard-worker-{next_wid}",
+                           daemon=True)
+        proc.start()
+        child_conn.close()  # EOF on parent_conn when the child dies
+        worker = _Worker(next_wid, proc, parent_conn)
+        next_wid += 1
+        return worker
+
+    def fail_shard(index: int, kind: str, message: str,
+                   worker_id: int) -> None:
+        spec = specs[index]
+        results[index] = ShardResult(
+            index, spec.label, False, None,
+            {"kind": kind, "message": message}, 0.0, worker=worker_id)
+
+    def reap(worker: _Worker, kind: str, message: str) -> None:
+        """A worker died (crash) or was killed (timeout): fail the
+        in-flight shard, requeue the unstarted rest of its chunk."""
+        if worker.current is not None:
+            fail_shard(worker.current, kind, message, worker.id)
+        if worker.chunk:
+            leftover = [spec for spec in worker.chunk
+                        if spec["index"] not in results
+                        and spec["index"] not in worker.done]
+            if leftover:
+                pending.appendleft(leftover)
+        worker.chunk = None
+        worker.current = None
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.proc.is_alive():
+            worker.proc.kill()
+        worker.proc.join(timeout=5.0)
+
+    active: List[_Worker] = [spawn_worker() for _ in range(workers)]
+
+    try:
+        while len(results) < total:
+            # Keep the pool at strength while unassigned work remains.
+            while pending and respawns_left > 0 and len(active) < workers:
+                active.append(spawn_worker())
+                respawns_left -= 1
+            if not active:
+                # Every worker died and the respawn budget is gone:
+                # fail whatever is left, structured, and finish.
+                for index in specs:
+                    if index not in results:
+                        fail_shard(index, "pool",
+                                   "worker pool exhausted its respawn "
+                                   "budget", -1)
+                break
+
+            # Dispatch chunks to idle workers.
+            for worker in list(active):
+                if worker.idle and pending:
+                    chunk = [spec for spec in pending.popleft()
+                             if spec["index"] not in results]
+                    if not chunk:
+                        continue
+                    worker.chunk = chunk
+                    worker.done = set()
+                    worker.current = None
+                    try:
+                        worker.conn.send(("run", chunk))
+                    except (OSError, BrokenPipeError):
+                        reap(worker, "crash",
+                             "worker died before accepting its chunk")
+                        active.remove(worker)
+                        respawns_left -= 1
+
+            if len(results) >= total:
+                break
+
+            busy = [worker for worker in active if not worker.idle]
+            if not busy:
+                continue
+
+            ready = connection_wait([worker.conn for worker in busy],
+                                    timeout=0.05)
+            dead: List[_Worker] = []
+            for conn in ready:
+                worker = next(w for w in busy if w.conn is conn)
+                try:
+                    while worker.conn.poll():
+                        message = worker.conn.recv()
+                        tag = message[0]
+                        if tag == "start":
+                            worker.current = message[1]
+                            worker.started = time.monotonic()
+                        elif tag == "done":
+                            index, result = message[1], message[2]
+                            spec = specs[index]
+                            results[index] = ShardResult(
+                                index, spec.label, result["ok"],
+                                result["payload"], result["error"],
+                                result["seconds"], worker=worker.id)
+                            worker.done.add(index)
+                            worker.current = None
+                        elif tag == "idle":
+                            worker.chunk = None
+                            worker.done = set()
+                except (EOFError, OSError):
+                    dead.append(worker)
+
+            now = time.monotonic()
+            for worker in list(active):
+                if worker in dead:
+                    continue
+                if worker.current is None:
+                    # A worker that silently died between shards: its
+                    # chunk simply gets requeued.
+                    if not worker.idle and not worker.proc.is_alive():
+                        dead.append(worker)
+                    continue
+                timeout = specs[worker.current].timeout
+                if timeout is None:
+                    timeout = default_timeout
+                if timeout is not None and now - worker.started > timeout:
+                    index = worker.current
+                    worker.proc.kill()
+                    reap(worker, "timeout",
+                         f"shard exceeded its {timeout:.3f}s timeout "
+                         "and its worker was killed")
+                    active.remove(worker)
+                    dead = [w for w in dead if w is not worker]
+
+            for worker in dead:
+                if worker not in active:
+                    continue
+                worker.proc.join(timeout=1.0)
+                exitcode = worker.proc.exitcode
+                reap(worker, "crash",
+                     f"worker process died (exitcode={exitcode})")
+                active.remove(worker)
+    finally:
+        for worker in active:
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for worker in active:
+            worker.proc.join(timeout=2.0)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join(timeout=2.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    return [results[index] for index in sorted(results)]

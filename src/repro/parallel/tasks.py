@@ -1,0 +1,164 @@
+"""Reference shard tasks: whole-farm runs shaped for campaigns.
+
+A *shard task* is a module-level function a spawn-started worker can
+import by name (``"repro.parallel.tasks:streaming_farm_shard"``); it
+takes JSON-safe keyword arguments and returns a JSON-safe dict.  The
+tasks here are the workloads the parallel benchmark and the parity
+tests share; experiments define their own next to the harness they
+wrap (see :mod:`repro.experiments.scalability`).
+
+``streaming_farm_shard`` is the canonical one: a complete farm —
+gateway, subfarm routers, containment servers, host TCP stacks — under
+a streaming workload, returning counters, a telemetry snapshot, and a
+determinism digest covering flow logs, counters, upstream trace bytes,
+and the metric surface (the same recipe as ``bench_hotpath``).
+
+``detonation_wait`` models the *real-time* cost that dominates
+production campaigns — §6.3's multi-hour malware runs and §7.3's 6-10
+minute raw-iron reimage cycles are wall-clock time during which the
+coordinating process just waits.  The simulation itself runs on a
+virtual clock, so the wait is an explicit, clearly-labeled stand-in
+for that operational reality; it never affects results or digests.
+
+The ``*_shard`` helpers at the bottom exist for failure-mode tests and
+pool smoke checks only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+
+from repro.core.policy import AllowAll
+from repro.farm import Farm, FarmConfig
+from repro.net.addresses import IPv4Address
+from repro.services.dhcp import DhcpClient
+
+__all__ = [
+    "streaming_farm_shard",
+    "noop_shard",
+    "sleepy_shard",
+    "crashing_shard",
+    "failing_shard",
+]
+
+TARGET_IP = "203.0.113.80"
+TARGET_PORT = 80
+
+
+def _streaming_image(rounds: int, chunk: int = 512):
+    """An inmate that opens one connection and ping-pongs ``rounds``
+    chunks over it — post-verdict forwarding dominates."""
+
+    def image(host):
+        def configured(h):
+            def start():
+                conn = h.tcp.connect(IPv4Address(TARGET_IP), TARGET_PORT)
+                state = {"rounds": 0}
+
+                def on_data(c, data):
+                    state["rounds"] += 1
+                    if state["rounds"] >= rounds:
+                        c.close()
+                    else:
+                        c.send(b"x" * chunk)
+
+                conn.on_established = lambda c: c.send(b"x" * chunk)
+                conn.on_data = on_data
+
+            h.sim.schedule(1.0, start, label="stream-start")
+
+        DhcpClient(host, on_configured=configured).start()
+
+    return image
+
+
+def _echo_server(host) -> None:
+    def on_accept(conn):
+        conn.on_data = lambda c, data: c.send(data)
+        conn.on_remote_close = lambda c: c.close()
+
+    host.tcp.listen(TARGET_PORT, on_accept)
+
+
+def streaming_farm_shard(seed: int, subfarms: int = 2, inmates: int = 2,
+                         rounds: int = 60, duration: float = 120.0,
+                         telemetry: bool = True,
+                         detonation_wait: float = 0.0) -> dict:
+    """One complete farm run: N subfarms of streaming inmates against
+    an external echo server, digested deterministically."""
+    farm = Farm(FarmConfig(seed=seed, telemetry=telemetry))
+    _echo_server(farm.add_external_host("echo", TARGET_IP))
+    subs = []
+    for index in range(subfarms):
+        sub = farm.create_subfarm(f"shard-sub-{index}")
+        sub.set_default_policy(AllowAll())
+        for _ in range(inmates):
+            sub.create_inmate(image_factory=_streaming_image(rounds))
+        subs.append(sub)
+    farm.run(until=duration)
+
+    digest = hashlib.sha256()
+    counters = {}
+    flows_created = packets_relayed = 0
+    for sub in subs:
+        sub_counters = dict(sub.router.counters)
+        counters[sub.name] = sub_counters
+        flows_created += sub_counters.get("flows_created", 0)
+        packets_relayed += sub_counters.get("packets_relayed", 0)
+        digest.update(json.dumps({sub.name: sub_counters},
+                                 sort_keys=True).encode())
+        for entry in sub.router.flow_log:
+            digest.update(
+                f"{entry.timestamp:.9f}|{entry.vlan}|{entry.verdict}"
+                f"|{entry.orig}|{entry.policy}".encode())
+    for rec in farm.gateway.upstream_trace.records:
+        digest.update(rec.frame.to_bytes())
+    snapshot = farm.telemetry_snapshot(include_traces=False)
+    digest.update(json.dumps(snapshot, sort_keys=True).encode())
+
+    if detonation_wait > 0:
+        time.sleep(detonation_wait)
+
+    return {
+        "seed": seed,
+        "virtual_seconds": farm.sim.now,
+        "metrics": {
+            "events": farm.sim.events_processed,
+            "flows_created": flows_created,
+            "packets_relayed": packets_relayed,
+        },
+        "counters": counters,
+        "telemetry": snapshot,
+        "digest": digest.hexdigest(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Failure-mode / smoke tasks (tests and pool diagnostics only)
+# ----------------------------------------------------------------------
+def noop_shard(seed: int, value: int = 0) -> dict:
+    """Instant success — pool plumbing smoke checks."""
+    return {"seed": seed, "value": value,
+            "digest": hashlib.sha256(f"{seed}:{value}".encode())
+            .hexdigest()}
+
+
+def sleepy_shard(seed: int, wall_seconds: float = 60.0) -> dict:
+    """Burn real wall-clock time — shard-timeout tests."""
+    time.sleep(wall_seconds)
+    return {"seed": seed, "slept": wall_seconds}
+
+
+def crashing_shard(seed: int, exitcode: int = 134) -> dict:
+    """Kill the worker process outright (no exception to catch) —
+    crash-isolation tests."""
+    import os
+
+    os._exit(exitcode)
+
+
+def failing_shard(seed: int, message: str = "boom") -> dict:
+    """Raise inside the task — structured in-task error tests."""
+    raise RuntimeError(message)

@@ -1,0 +1,71 @@
+"""The ``python -m repro.experiments`` entry point and the campaign
+wiring of the rewired experiment harnesses."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.__main__ import main, parse_seeds
+from repro.experiments.scalability import run_gateway_load_sweep
+
+pytestmark = pytest.mark.integration
+
+
+class TestParseSeeds:
+    def test_inclusive_range(self):
+        assert parse_seeds("0..3") == [0, 1, 2, 3]
+
+    def test_comma_list_and_single(self):
+        assert parse_seeds("1,5,9") == [1, 5, 9]
+        assert parse_seeds("4") == [4]
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            parse_seeds("5..2")
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gateway-load-sweep" in out
+        assert "smtp-strictness" in out
+
+    def test_gateway_load_sweep_serial(self, capsys):
+        code = main(["gateway-load-sweep", "--seeds", "0..1",
+                     "--subfarms", "1", "--inmates-per", "2",
+                     "--duration", "40"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["ok"]
+        assert summary["merged"]["shards_ok"] == 2
+        assert len(summary["shards"]) == 2
+        assert summary["digest"]
+
+    def test_streaming_farm_with_workers(self, capsys):
+        code = main(["streaming-farm", "--workers", "2",
+                     "--seeds", "1..2", "--subfarms", "1",
+                     "--inmates-per", "1", "--duration", "30"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["ok"]
+        assert summary["workers"] == 2
+
+
+class TestGatewayLoadSweep:
+    def test_serial_vs_parallel_digest(self):
+        kwargs = dict(seeds=[0, 1, 2], subfarms=1, inmates_per=2,
+                      duration=40.0)
+        serial = run_gateway_load_sweep(workers=1, **kwargs)
+        parallel = run_gateway_load_sweep(workers=2, **kwargs)
+        assert serial.ok and parallel.ok
+        assert serial.digest == parallel.digest
+        assert serial.merged["metrics"]["flows_created"] > 0
+
+    def test_explicit_seeds_are_used(self):
+        result = run_gateway_load_sweep(seeds=[7, 9], subfarms=1,
+                                        inmates_per=1, duration=30.0)
+        assert [r.payload["seed"] for r in result.shard_results] \
+            == [7, 9]
