@@ -2,7 +2,7 @@ PYTHON ?= python
 WORKERS ?= 2
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-parallel paper-benches
+.PHONY: test bench bench-quick bench-parallel chaos-quick paper-benches
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,6 +16,12 @@ bench-parallel:
 bench-quick:
 	$(PYTHON) benchmarks/bench_hotpath.py --quick
 	$(PYTHON) benchmarks/bench_parallel_scaling.py --quick --workers $(WORKERS)
+
+# Fault-matrix smoke: one CS crash, one shim partition, one CS hang
+# scenario over resilient farm runs, asserting zero unverdicted-flow
+# leaks and a same-cell determinism replay (docs/RESILIENCE.md).
+chaos-quick:
+	$(PYTHON) -m repro.experiments.fault_matrix --quick --workers $(WORKERS)
 
 paper-benches:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

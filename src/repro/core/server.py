@@ -241,6 +241,9 @@ class ContainmentServer:
         self.verdict_log: List[VerdictRecord] = []
         self.verdict_counts: Dict[str, int] = {}
         self.trigger_engine = None  # set via attach_triggers()
+        # Fault-injection seam: a ServerFaultState installed by the
+        # farm's FaultInjector (None in fault-free farms).
+        self.fault_state = None
 
         tel = sim.telemetry
         self._m_verdicts = tel.counter(
@@ -277,15 +280,33 @@ class ContainmentServer:
     def _accept(self, conn: TcpConnection) -> None:
         _CsConnection(self, conn)
 
+    def responsive(self) -> bool:
+        """Management-network health check: would this server answer a
+        probe right now?  (The failover pool's prober calls this.)"""
+        fault = self.fault_state
+        return fault is None or fault.responsive(self.sim.now)
+
     def schedule_issue(self, cs_conn: _CsConnection,
                        decision: ContainmentDecision) -> None:
         """Issue a verdict, honouring the processing-time model."""
-        if self.service_time <= 0.0:
+        extra = 0.0
+        fault = self.fault_state
+        if fault is not None:
+            if fault.crashed:
+                return  # a crashed server issues nothing
+            now = self.sim.now
+            if fault.hung(now):
+                # Held until the hang window closes, then re-scheduled
+                # — the late-verdict case the router must tolerate.
+                fault.hold(cs_conn, decision)
+                return
+            extra = fault.extra_service_time(now)
+        if self.service_time <= 0.0 and extra <= 0.0:
             cs_conn._issue(decision)
             return
         now = self.sim.now
         start = max(now, self._busy_until)
-        self._busy_until = start + self.service_time
+        self._busy_until = start + self.service_time + extra
         delay = self._busy_until - now
         self.queue_delays.append(delay)
         self.sim.schedule(delay, cs_conn._issue, decision,
@@ -328,6 +349,9 @@ class ContainmentServer:
     # ------------------------------------------------------------------
     def _udp_datagram(self, host: Host, packet: IPv4Packet,
                       datagram: UDPDatagram) -> None:
+        fault = self.fault_state
+        if fault is not None and not fault.responsive(self.sim.now):
+            return  # crashed or hung: datagrams vanish
         payload = datagram.payload
         if len(payload) < REQUEST_SHIM_LEN:
             return

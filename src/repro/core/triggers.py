@@ -146,6 +146,12 @@ class TriggerEngine:
         self._sweeper = Process(sim, check_interval, self._sweep,
                                 label="trigger-sweep")
         self._sweeper_started = False
+        # While containment is degraded (no responsive containment
+        # server) triggers are suspended: absence-of-activity rules
+        # would otherwise misread the outage as inmate dormancy and
+        # revert healthy inmates.  ``suspensions`` logs the windows.
+        self._suspended = False
+        self.suspensions: List[List[Optional[float]]] = []
         self._m_fired = sim.telemetry.counter(
             "triggers.fired", "Trigger firings, by life-cycle action")
 
@@ -165,6 +171,26 @@ class TriggerEngine:
         return spec
 
     # ------------------------------------------------------------------
+    def suspend(self) -> None:
+        """Stop firing (degraded containment); window state keeps filling."""
+        if self._suspended:
+            return
+        self._suspended = True
+        self.suspensions.append([self.sim.now, None])
+
+    def resume(self) -> None:
+        """Re-arm after a suspension; windows restart from now so the
+        outage gap is not misread as inmate inactivity."""
+        if not self._suspended:
+            return
+        self._suspended = False
+        self.suspensions[-1][1] = self.sim.now
+        for state in self._state.values():
+            state.armed_at = self.sim.now
+            if state.last_fired is not None:
+                state.last_fired = self.sim.now
+
+    # ------------------------------------------------------------------
     def flow_event(self, vlan: int, timestamp: float,
                    flow: FiveTuple) -> None:
         """Called by the containment server for every verdict issued."""
@@ -177,7 +203,8 @@ class TriggerEngine:
                 state.events.append(timestamp)
                 self._prune(state, spec)
                 # Over-threshold triggers react immediately.
-                if spec.op in (">", ">=") and spec.evaluate(len(state.events)):
+                if spec.op in (">", ">=") and not self._suspended \
+                        and spec.evaluate(len(state.events)):
                     self._fire(spec, vlan, state)
 
     def _prune(self, state: _TriggerState, spec: TriggerSpec) -> None:
@@ -187,6 +214,8 @@ class TriggerEngine:
 
     def _sweep(self) -> None:
         """Periodic evaluation for absence-of-activity triggers."""
+        if self._suspended:
+            return
         for rule_index, (spec, vlans) in enumerate(self._rules):
             if spec.op not in ("<", "<=", "=="):
                 continue

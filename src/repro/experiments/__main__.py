@@ -111,6 +111,15 @@ def _run_containment_tradeoff(args) -> dict:
     }
 
 
+def _run_fault_matrix(args) -> dict:
+    from repro.experiments.fault_matrix import run_matrix, summarize
+
+    result = run_matrix(seeds=args.seeds, base_seed=args.seed,
+                        duration=args.duration, workers=args.workers,
+                        timeout=600.0)
+    return summarize(result)
+
+
 EXPERIMENTS = {
     "gateway-load-sweep": (
         _run_gateway_load_sweep,
@@ -132,6 +141,12 @@ EXPERIMENTS = {
         _run_containment_tradeoff,
         "§3/§8 behaviour-vs-harm regimes over the mixed population",
         {"duration": 900.0, "seed": 77},
+    ),
+    "fault-matrix": (
+        _run_fault_matrix,
+        "chaos scenarios × seeds over resilient farm runs "
+        "(docs/RESILIENCE.md)",
+        {"duration": 120.0, "seed": 11},
     ),
 }
 

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.policy import ContainmentPolicy, DefaultDeny, PolicyMap
 from repro.core.server import CS_DEFAULT_PORT, ContainmentServer
 from repro.core.triggers import TriggerEngine
+from repro.faults import FaultInjector, FaultPlan
 from repro.gateway.gateway import Gateway
 from repro.gateway.nat import AddressPool, InboundMode, NatTable
 from repro.gateway.router import SubfarmRouter
@@ -60,6 +61,15 @@ class FarmConfig:
         telemetry: bool = False,
         telemetry_snapshot_interval: Optional[float] = None,
         profile_callbacks: bool = False,
+        fault_plan: Optional[object] = None,
+        verdict_deadline: Optional[float] = None,
+        verdict_retries: int = 2,
+        retry_backoff: float = 2.0,
+        pending_policy: str = "drop",
+        cs_probe_interval: float = 5.0,
+        cs_failure_threshold: int = 2,
+        lifecycle_retry_limit: int = 2,
+        lifecycle_retry_backoff: float = 30.0,
     ) -> None:
         self.seed = seed
         # Four /24s for the inmate population, one for control (§6.7).
@@ -78,6 +88,22 @@ class FarmConfig:
         self.telemetry = telemetry
         self.telemetry_snapshot_interval = telemetry_snapshot_interval
         self.profile_callbacks = profile_callbacks
+        # Fault plane + shim resilience (repro.faults, docs/RESILIENCE.md).
+        # An empty plan and verdict_deadline=None leave every run path
+        # byte-identical to a build without the fault plane.
+        self.fault_plan = FaultPlan.coerce(fault_plan)
+        if pending_policy not in ("drop", "forward"):
+            raise ValueError(
+                f"pending_policy must be 'drop' or 'forward', "
+                f"not {pending_policy!r}")
+        self.verdict_deadline = verdict_deadline
+        self.verdict_retries = verdict_retries
+        self.retry_backoff = retry_backoff
+        self.pending_policy = pending_policy
+        self.cs_probe_interval = cs_probe_interval
+        self.cs_failure_threshold = cs_failure_threshold
+        self.lifecycle_retry_limit = lifecycle_retry_limit
+        self.lifecycle_retry_backoff = lifecycle_retry_backoff
 
     # ------------------------------------------------------------------
     # Serialization — ships configs to campaign workers
@@ -97,6 +123,15 @@ class FarmConfig:
             "telemetry": self.telemetry,
             "telemetry_snapshot_interval": self.telemetry_snapshot_interval,
             "profile_callbacks": self.profile_callbacks,
+            "fault_plan": self.fault_plan.to_dict(),
+            "verdict_deadline": self.verdict_deadline,
+            "verdict_retries": self.verdict_retries,
+            "retry_backoff": self.retry_backoff,
+            "pending_policy": self.pending_policy,
+            "cs_probe_interval": self.cs_probe_interval,
+            "cs_failure_threshold": self.cs_failure_threshold,
+            "lifecycle_retry_limit": self.lifecycle_retry_limit,
+            "lifecycle_retry_backoff": self.lifecycle_retry_backoff,
         }
 
     @classmethod
@@ -109,6 +144,10 @@ class FarmConfig:
             "safety_max_flows_per_destination", "safety_window",
             "telemetry", "telemetry_snapshot_interval",
             "profile_callbacks",
+            "fault_plan", "verdict_deadline", "verdict_retries",
+            "retry_backoff", "pending_policy", "cs_probe_interval",
+            "cs_failure_threshold", "lifecycle_retry_limit",
+            "lifecycle_retry_backoff",
         }
         unknown = set(data) - known
         if unknown:
@@ -209,6 +248,62 @@ class Subfarm:
         self.sinks: Dict[str, object] = {}
         self.extra_containment_servers: List[ContainmentServer] = []
 
+        # Resilience (verdict deadlines, CS failover, fail-closed
+        # pending policy): opt-in via config.verdict_deadline.
+        self._cs_servers: Dict[IPv4Address, ContainmentServer] = {
+            self.cs_ip: self.containment_server,
+        }
+        self.resilience = None
+        if farm.config.verdict_deadline is not None:
+            self._enable_resilience()
+
+    # ------------------------------------------------------------------
+    # Resilience (repro.gateway.failover)
+    # ------------------------------------------------------------------
+    def _enable_resilience(self) -> None:
+        from repro.gateway.failover import (
+            CsFailoverPool,
+            ResilienceConfig,
+            RouterResilience,
+        )
+
+        config = self.farm.config
+        rconfig = ResilienceConfig(
+            verdict_deadline=config.verdict_deadline,
+            verdict_retries=config.verdict_retries,
+            retry_backoff=config.retry_backoff,
+            pending_policy=config.pending_policy,
+            probe_interval=config.cs_probe_interval,
+            failure_threshold=config.cs_failure_threshold,
+        )
+        pool = CsFailoverPool(self.farm.sim, self.router, rconfig,
+                              prober=self._probe_cs)
+        self.resilience = RouterResilience(
+            self.farm.sim, self.router, rconfig, pool, self.name,
+            trigger_engine=self.trigger_engine,
+        )
+        self.router.resilience = self.resilience
+
+    def _probe_cs(self, ip: IPv4Address) -> bool:
+        """Health probe: would this containment server answer now?"""
+        server = self._cs_servers.get(ip)
+        return server is not None and server.responsive()
+
+    def set_pending_policy(self, policy: str) -> None:
+        """Per-subfarm override of what happens to flows whose verdict
+        never arrives: ``"drop"`` (fail closed, default) or
+        ``"forward"`` (fail open — for subfarms whose study would lose
+        more from dropped flows than from briefly unconstrained ones;
+        the safety filter stays authoritative either way)."""
+        if policy not in ("drop", "forward"):
+            raise ValueError(
+                f"pending policy must be 'drop' or 'forward', "
+                f"not {policy!r}")
+        if self.resilience is None:
+            raise RuntimeError(
+                "resilience is not enabled (set config.verdict_deadline)")
+        self.resilience.config.pending_policy = policy
+
     # ------------------------------------------------------------------
     # Services
     # ------------------------------------------------------------------
@@ -275,6 +370,11 @@ class Subfarm:
             server.attach_triggers(self.trigger_engine)
             self.extra_containment_servers.append(server)
             self.router.add_containment_server(host.ip)
+            self._cs_servers[host.ip] = server
+            injector = self.farm.fault_injector
+            if injector is not None:
+                injector.attach_server(self, server, len(
+                    self.extra_containment_servers))
         return ContainmentServerCluster(
             [self.containment_server] + self.extra_containment_servers
         )
@@ -320,6 +420,8 @@ class Subfarm:
                         image_factory, backend)
         self.inmates[vlan] = inmate
         self.farm.controller.register(inmate)
+        if self.farm.fault_injector is not None:
+            self.farm.fault_injector.attach_inmate(self, inmate)
         if policy is not None:
             self.assign_policy(policy, vlan)
         if autostart:
@@ -383,6 +485,14 @@ class Farm:
             if interval is not None and interval > 0:
                 self._schedule_snapshot(interval)
 
+        # Fault plane: built only for a non-empty plan so a default
+        # farm registers no fault telemetry, draws no RNG streams, and
+        # schedules no events — digests stay byte-identical.
+        plan = self.config.fault_plan
+        self.fault_injector: Optional[FaultInjector] = (
+            None if plan.is_empty else FaultInjector(self.sim, plan)
+        )
+
         self.backbone = Router(self.sim, "internet")
         self.gateway = Gateway(self.sim)
         self.inmate_switch = Switch(self.sim, "inmate-net")
@@ -405,8 +515,12 @@ class Farm:
                                     ip=self.controller_ip, prefix_len=16)
         Link(self.sim, self.controller_host.attach_port(),
              self.mgmt_switch.attach_port(access_vlan=1))
-        self.controller = InmateController(self.sim,
-                                           on_action=self._on_lifecycle)
+        self.controller = InmateController(
+            self.sim,
+            on_action=self._on_lifecycle,
+            retry_limit=self.config.lifecycle_retry_limit,
+            retry_backoff=self.config.lifecycle_retry_backoff,
+        )
         self.controller.bind(self.controller_host)
 
         # The simulated external universe's authoritative DNS: wired in
@@ -422,6 +536,8 @@ class Farm:
             raise ValueError(f"subfarm {name!r} already exists")
         subfarm = Subfarm(self, name, index=len(self.subfarms))
         self.subfarms[name] = subfarm
+        if self.fault_injector is not None:
+            self.fault_injector.attach_subfarm(subfarm)
         return subfarm
 
     def add_management_host(self, name: str) -> Host:

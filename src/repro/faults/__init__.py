@@ -1,0 +1,46 @@
+"""Deterministic fault injection for the containment farm.
+
+GQ's containment servers are logically and physically separate from
+the gateway (paper §4, Figure 4): every flow crosses a real shim link
+before it has a verdict, and the paper's operational stance is that
+containment must hold even when components misbehave — "when in
+doubt, drop".  This package provides the attack side of that story: a
+:class:`FaultPlan` describes scheduled and probabilistic faults
+(shim-link delay/drop/partition, containment-server crash/hang/slow,
+hosting revert/reboot failures, worker-process faults), and a
+:class:`FaultInjector` installs them at fixed seams in the router,
+containment server, and inmate life cycle.
+
+Everything is driven off the virtual clock and named
+:meth:`~repro.sim.engine.Simulator.rng` streams, so an identical seed
+plus an identical plan replays byte-identically — and an *empty* plan
+installs nothing at all, leaving the farm's digests untouched.
+"""
+
+from repro.faults.plan import (
+    FaultPlan,
+    FaultSpec,
+    LIFECYCLE_KINDS,
+    LINK_KINDS,
+    SERVER_KINDS,
+    WORKER_KINDS,
+)
+from repro.faults.injector import (
+    FaultInjector,
+    LifecycleFaultGate,
+    ServerFaultState,
+    ShimLinkFaults,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "LifecycleFaultGate",
+    "LIFECYCLE_KINDS",
+    "LINK_KINDS",
+    "SERVER_KINDS",
+    "ServerFaultState",
+    "ShimLinkFaults",
+    "WORKER_KINDS",
+]

@@ -88,6 +88,11 @@ class FlowRecord:
         self.c2s_inj = 0
         self.s2c_rem = 0
         self.shim_injected = False
+        # Set while a resilience re-home awaits the fresh SYN-ACK of a
+        # standby containment server: the client already handshook, so
+        # the router completes the new leg itself (see
+        # SubfarmRouter._replay_cs_handshake).
+        self.cs_handshake_replay = False
         self.shim_buffer = bytearray()   # server->client bytes pending shim parse
         self.client_buffer = bytearray() # client payload buffered for handoff
         self.client_fin = False

@@ -119,6 +119,15 @@ class SubfarmRouter:
         self._emit_upstream = emit_upstream
         self.control_pool = control_pool
 
+        # Fault-injection and resilience seams.  Both stay None unless
+        # the farm installs them (non-empty FaultPlan / configured
+        # verdict deadline), in which case every packet crossing the
+        # shim link consults the fault view and every SHIM-phase flow
+        # runs under a verdict deadline.  With both None the packet
+        # path is byte-identical to a build without these layers.
+        self.shim_link_faults = None
+        self.resilience = None
+
         self.telemetry = sim.telemetry
         self.bridge = LearningBridge(telemetry=self.telemetry, subfarm=name)
         self.trace = PacketTrace(f"{name}-inmate-side")
@@ -242,6 +251,15 @@ class SubfarmRouter:
         inmate (§7.2's suggested policy)."""
         return self._cs_list[vlan % len(self._cs_list)]
 
+    def _emit_to_cs(self, cs_ip: IPv4Address, packet: IPv4Packet) -> None:
+        """Emit toward a containment server, through the shim-link
+        fault view when one is installed."""
+        faults = self.shim_link_faults
+        if faults is None:
+            self._emit_to_service(cs_ip, packet)
+        else:
+            faults.send(cs_ip, packet, self._emit_to_service)
+
     # ------------------------------------------------------------------
     # Allocation helpers
     # ------------------------------------------------------------------
@@ -310,6 +328,18 @@ class SubfarmRouter:
     # Entry point: frames from subfarm service hosts
     # ------------------------------------------------------------------
     def service_frame(self, frame) -> None:
+        faults = self.shim_link_faults
+        if faults is not None:
+            packet = frame.payload
+            if isinstance(packet, IPv4Packet) and packet.src in self.cs_ips:
+                # Frames from a containment server cross the faulty
+                # link too; delayed frames re-enter via the body so
+                # they are not charged twice.
+                if not faults.admit_return(frame, self._service_frame_body):
+                    return
+        self._service_frame_body(frame)
+
+    def _service_frame_body(self, frame) -> None:
         packet = frame.payload
         if not isinstance(packet, IPv4Packet):
             return
@@ -504,12 +534,19 @@ class SubfarmRouter:
                 trace_id, "flow.shim_rtt", subfarm=self.name,
                 vlan=str(vlan), proto=proto)
 
+        resilience = self.resilience
         if packet.proto == PROTO_TCP:
             record.client_isn = packet.tcp.seq
+            if resilience is not None and resilience.handle_new_flow(record):
+                return  # degraded: resolved by the pending policy
             self._send_to_cs_tcp(record, packet.tcp)
         else:
             record.udp_pending.append(packet.udp.copy())
+            if resilience is not None and resilience.handle_new_flow(record):
+                return  # degraded: resolved by the pending policy
             self._send_to_cs_udp(record, packet.udp)
+        if resilience is not None:
+            resilience.arm(record)
 
     # ---- TCP toward the containment server ---------------------------
     def _send_to_cs_tcp(self, record: FlowRecord, segment: TCPSegment) -> None:
@@ -521,7 +558,7 @@ class SubfarmRouter:
         packet = IPv4Packet(record.orig.orig_ip, record.cs_ip, out)
         self.counters["packets_relayed"] += 1
         self._m_packets.inc()
-        self._emit_to_service(record.cs_ip, packet)
+        self._emit_to_cs(record.cs_ip, packet)
 
     def _inject_request_shim(self, record: FlowRecord) -> None:
         shim = RequestShim(record.orig, record.vlan, record.nonce_port)
@@ -537,7 +574,29 @@ class SubfarmRouter:
         self.counters["shims_injected"] += 1
         self._m_shims_injected.inc()
         packet = IPv4Packet(record.orig.orig_ip, record.cs_ip, segment)
-        self._emit_to_service(record.cs_ip, packet)
+        self._emit_to_cs(record.cs_ip, packet)
+
+    def _replay_cs_handshake(self, record: FlowRecord) -> None:
+        """Complete a re-homed containment-server leg on the client's
+        behalf: ACK the fresh SYN-ACK, re-inject the request shim, and
+        replay any payload the client already sent (the handoff replay
+        idiom of _complete_handoff, pointed at the new server)."""
+        ack = TCPSegment(
+            sport=record.orig.orig_port, dport=record.orig.resp_port,
+            seq=seq_add(record.client_isn, 1),
+            ack=seq_add(record.cs_isn, 1),
+            flags=ACK,
+        )
+        self._send_to_cs_tcp(record, ack)
+        self._inject_request_shim(record)
+        if record.client_buffer:
+            data = TCPSegment(
+                sport=record.orig.orig_port, dport=record.orig.resp_port,
+                seq=seq_add(record.client_isn, 1),
+                ack=seq_add(record.cs_isn, 1),
+                flags=ACK | PSH, payload=bytes(record.client_buffer),
+            )
+            self._send_to_cs_tcp(record, data)
 
     # ---- UDP toward the containment server ---------------------------
     def _send_to_cs_udp(self, record: FlowRecord, datagram: UDPDatagram) -> None:
@@ -549,7 +608,7 @@ class SubfarmRouter:
         self.counters["shims_injected"] += 1
         self._m_shims_injected.inc()
         packet = IPv4Packet(record.orig.orig_ip, record.cs_ip, wrapped)
-        self._emit_to_service(record.cs_ip, packet)
+        self._emit_to_cs(record.cs_ip, packet)
 
     # ------------------------------------------------------------------
     # Known-flow dispatch
@@ -777,7 +836,10 @@ class SubfarmRouter:
         counters = self.counters
         m_packets = self._m_packets
         dispatch = self._dispatch_known
-        emit_to_service = self._emit_to_service
+        # Toward-CS emissions go through the fault seam; the wrapper
+        # re-reads shim_link_faults per call, so compiled handlers stay
+        # valid whether or not a fault view is installed.
+        emit_to_service = self._emit_to_cs
         orig = record.orig
         orig_ip, orig_port = orig.orig_ip, orig.orig_port
         resp_ip, resp_port = orig.resp_ip, orig.resp_port
@@ -969,6 +1031,14 @@ class SubfarmRouter:
 
         if segment.syn and segment.has_ack and record.cs_isn is None:
             record.cs_isn = segment.seq
+            if record.cs_handshake_replay:
+                # Failover re-home of a flow whose client already
+                # handshook against the old server: finish the fresh
+                # leg ourselves, never showing the client a second
+                # SYN-ACK.
+                record.cs_handshake_replay = False
+                self._replay_cs_handshake(record)
+                return
             self._forward_to_client(record, segment)
             return
 
@@ -1026,6 +1096,8 @@ class SubfarmRouter:
         record.s2c_rem = length
         self.counters["shims_stripped"] += 1
         self._m_shims_stripped.inc()
+        if self.resilience is not None:
+            self.resilience.note_verdict(record.cs_ip)
         decision = shim.to_decision(record.orig)
         self._apply_decision(record, decision, leftover)
 
@@ -1385,8 +1457,8 @@ class SubfarmRouter:
         out.dport = record.nonce_port
         self.counters["packets_relayed"] += 1
         self._m_packets.inc()
-        self._emit_to_service(record.cs_ip,
-                              IPv4Packet(packet.src, record.cs_ip, out))
+        self._emit_to_cs(record.cs_ip,
+                         IPv4Packet(packet.src, record.cs_ip, out))
 
     # ------------------------------------------------------------------
     # UDP verdicts from the containment server
@@ -1403,6 +1475,8 @@ class SubfarmRouter:
         leftover = payload[length:]
         self.counters["shims_stripped"] += 1
         self._m_shims_stripped.inc()
+        if self.resilience is not None:
+            self.resilience.note_verdict(record.cs_ip)
         if record.decision is None:
             decision = shim.to_decision(record.orig)
             self._apply_udp_decision(record, decision, leftover)
@@ -1472,7 +1546,7 @@ class SubfarmRouter:
             ack=seq_add(record.cs_isn, 1 + record.s2c_rem),
             flags=RST | ACK,
         )
-        self._emit_to_service(
+        self._emit_to_cs(
             record.cs_ip, IPv4Packet(record.orig.orig_ip, record.cs_ip, rst)
         )
 

@@ -30,7 +30,9 @@ class InmateController:
     """VLAN-keyed life-cycle executor on the gateway."""
 
     def __init__(self, sim: Simulator,
-                 on_action: Optional[Callable[[str, int], None]] = None) -> None:
+                 on_action: Optional[Callable[[str, int], None]] = None,
+                 retry_limit: int = 2,
+                 retry_backoff: float = 30.0) -> None:
         self.sim = sim
         self._inmates: Dict[int, Inmate] = {}
         self.actions_executed: List[Tuple[float, str, int]] = []
@@ -39,6 +41,14 @@ class InmateController:
         # Hook for the subfarm router to clear per-inmate state
         # (safety-filter history, bridge entries, open flows).
         self.on_action = on_action
+        # Bounded retry for failed life-cycle completions (fault plane):
+        # a failed revert/boot is retried up to ``retry_limit`` times
+        # with exponential backoff, then the inmate is abandoned.
+        self.retry_limit = retry_limit
+        self.retry_backoff = retry_backoff
+        self._retry_state: Dict[Tuple[str, int], int] = {}
+        self.retries_scheduled: List[Tuple[float, str, int]] = []
+        self.abandoned: List[Tuple[float, str, int]] = []
         tel = sim.telemetry
         self._m_lifecycle = tel.counter(
             "inmates.lifecycle", "Life-cycle actions executed, by kind")
@@ -52,6 +62,7 @@ class InmateController:
         if inmate.vlan in self._inmates:
             raise ValueError(f"VLAN {inmate.vlan} already has an inmate")
         self._inmates[inmate.vlan] = inmate
+        inmate.on_lifecycle_failure = self._lifecycle_failure
 
     def unregister(self, vlan: int) -> None:
         self._inmates.pop(vlan, None)
@@ -66,7 +77,8 @@ class InmateController:
     # Action execution ("the controller requires only the inmate's
     # VLAN ID in order to identify the target of a life-cycle action")
     # ------------------------------------------------------------------
-    def execute(self, action: str, vlan: int) -> bool:
+    def execute(self, action: str, vlan: int,
+                _from_retry: bool = False) -> bool:
         if action not in ACTIONS:
             self.malformed_messages += 1
             self._m_errors.inc(kind="malformed")
@@ -76,12 +88,34 @@ class InmateController:
             self.unknown_targets += 1
             self._m_errors.inc(kind="unknown-target")
             return False
+        if not _from_retry:
+            # A fresh external request resets the retry budget.
+            self._retry_state.pop((action, vlan), None)
         self.actions_executed.append((self.sim.now, action, vlan))
         self._m_lifecycle.inc(action=action)
         getattr(inmate, action)()
         if self.on_action is not None:
             self.on_action(action, vlan)
         return True
+
+    # ------------------------------------------------------------------
+    # Bounded retry on failed life-cycle completions (fault plane)
+    # ------------------------------------------------------------------
+    def _lifecycle_failure(self, action: str, inmate: Inmate) -> None:
+        key = (action, inmate.vlan)
+        attempt = self._retry_state.get(key, 0)
+        if attempt >= self.retry_limit:
+            self.abandoned.append((self.sim.now, action, inmate.vlan))
+            self._m_errors.inc(kind="abandoned")
+            self._retry_state.pop(key, None)
+            return
+        self._retry_state[key] = attempt + 1
+        delay = self.retry_backoff * (2 ** attempt)
+        self.retries_scheduled.append((self.sim.now, action, inmate.vlan))
+        self._m_errors.inc(kind="retry")
+        self.sim.schedule(
+            delay, self.execute, action, inmate.vlan, True,
+            label=f"lifecycle-retry-{action}-v{inmate.vlan}")
 
     # ------------------------------------------------------------------
     # Text protocol (management network)

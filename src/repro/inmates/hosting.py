@@ -120,6 +120,14 @@ class Inmate:
         self._link: Optional[Link] = None
         self.history: List[str] = []
 
+        # Fault-injection gate (repro.faults): consulted when a revert
+        # or boot completes; a True return means the action failed and
+        # ``on_lifecycle_failure(event, inmate)`` is notified so the
+        # controller can retry with bounded backoff.
+        self.lifecycle_faults = None
+        self.on_lifecycle_failure: Optional[
+            Callable[[str, "Inmate"], None]] = None
+
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Power on: boot a fresh host from the image."""
@@ -134,6 +142,12 @@ class Inmate:
 
     def _come_up(self) -> None:
         if self.state != InmateState.BOOTING:
+            return
+        if self.lifecycle_faults is not None and self.lifecycle_faults("boot"):
+            self.state = InmateState.STOPPED
+            self._log("boot failed")
+            if self.on_lifecycle_failure is not None:
+                self.on_lifecycle_failure("start", self)
             return
         self.generation += 1
         self.boots += 1
@@ -196,6 +210,12 @@ class Inmate:
 
     def _revert_done(self) -> None:
         if self.state != InmateState.REVERTING:
+            return
+        if self.lifecycle_faults is not None and self.lifecycle_faults("revert"):
+            self.state = InmateState.STOPPED
+            self._log("revert failed")
+            if self.on_lifecycle_failure is not None:
+                self.on_lifecycle_failure("revert", self)
             return
         self.state = InmateState.BOOTING
         self.sim.schedule(self.backend.boot_latency, self._come_up,

@@ -168,28 +168,50 @@ class PacketTrace:
         return b"".join(payload for _seq, payload in chunks)
 
 
-def write_pcap(path: str, records: Iterable[TraceRecord]) -> int:
-    """Write records as a classic libpcap file; returns frames written."""
+def write_pcap(path: str, records: Iterable[TraceRecord],
+               snaplen: int = 65535) -> int:
+    """Write records as a classic libpcap file; returns frames written.
+
+    Frames longer than ``snaplen`` are snapped: ``incl_len`` records
+    the bytes actually stored, ``orig_len`` the wire length, exactly
+    as libpcap specifies.
+    """
+    if snaplen <= 0:
+        raise ValueError("snaplen must be positive")
     count = 0
     with open(path, "wb") as handle:
         handle.write(
             struct.pack(
                 "!IHHiIII",
-                PCAP_MAGIC, 2, 4, 0, 0, 65535, LINKTYPE_ETHERNET,
+                PCAP_MAGIC, 2, 4, 0, 0, snaplen, LINKTYPE_ETHERNET,
             )
         )
         for record in records:
             data = record.frame.to_bytes()
             seconds = int(record.timestamp)
             micros = int(round((record.timestamp - seconds) * 1_000_000))
-            handle.write(struct.pack("!IIII", seconds, micros, len(data), len(data)))
-            handle.write(data)
+            if micros >= 1_000_000:
+                # Sub-microsecond timestamps round up past the second
+                # boundary (e.g. t = 3.9999999); carry, never emit an
+                # out-of-range microseconds field.
+                seconds += micros // 1_000_000
+                micros %= 1_000_000
+            incl = data[:snaplen]
+            handle.write(struct.pack("!IIII", seconds, micros,
+                                     len(incl), len(data)))
+            handle.write(incl)
             count += 1
     return count
 
 
 def read_pcap(path: str) -> List[TraceRecord]:
-    """Read a classic libpcap file written by :func:`write_pcap`."""
+    """Read a classic libpcap file written by :func:`write_pcap`.
+
+    Snapped records (``incl_len < orig_len``) whose remaining bytes no
+    longer parse as a frame are skipped; a record body shorter than
+    its own ``incl_len`` means the file itself is truncated and is an
+    error.
+    """
     records = []
     with open(path, "rb") as handle:
         header = handle.read(24)
@@ -202,8 +224,18 @@ def read_pcap(path: str) -> List[TraceRecord]:
             record_header = handle.read(16)
             if not record_header:
                 break
-            seconds, micros, caplen, _origlen = struct.unpack("!IIII", record_header)
+            if len(record_header) < 16:
+                raise ValueError("truncated pcap record header")
+            seconds, micros, caplen, origlen = struct.unpack(
+                "!IIII", record_header)
             data = handle.read(caplen)
-            frame = EthernetFrame.from_bytes(data)
+            if len(data) < caplen:
+                raise ValueError("truncated pcap record")
+            try:
+                frame = EthernetFrame.from_bytes(data)
+            except Exception:
+                if caplen < origlen:
+                    continue  # snapped beyond parseability
+                raise
             records.append(TraceRecord(seconds + micros / 1_000_000, frame, "pcap"))
     return records

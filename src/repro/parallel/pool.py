@@ -51,6 +51,12 @@ __all__ = [
 # amortize dispatch round trips.
 DEFAULT_CHUNK_FACTOR = 4
 
+# True only inside a spawned worker process.  Worker-process faults
+# (repro.faults) behave destructively there — os._exit, a real hang —
+# and degrade to structured failures on the serial path so the test
+# process itself never dies.
+_IN_WORKER = False
+
 
 class ShardResult:
     """Outcome of one shard: payload on success, structured error not
@@ -106,6 +112,12 @@ def _execute_spec(spec_dict: dict) -> dict:
             "seconds": time.perf_counter() - started,
         }
 
+    fault = spec_dict.get("fault")
+    if fault is not None:
+        outcome = _apply_worker_fault(fault, started)
+        if outcome is not None:
+            return outcome
+
     try:
         fn = resolve_task(spec_dict["task"])
         payload = fn(**spec_dict.get("params", {}))
@@ -126,9 +138,55 @@ def _execute_spec(spec_dict: dict) -> dict:
             "seconds": time.perf_counter() - started}
 
 
+def _apply_worker_fault(fault: dict, started: float) -> Optional[dict]:
+    """Enact a worker-process fault stamped onto a shard spec.
+
+    In a real worker the crash and hang are genuine (the pool's crash
+    isolation and timeout machinery must recover); on the serial path
+    they degrade to the structured failure the pool would eventually
+    record, so running with ``workers=1`` stays hermetic.
+    """
+    kind = fault.get("kind")
+    if kind == "worker_crash":
+        if _IN_WORKER:
+            import os
+
+            os._exit(int(fault.get("exitcode", 134)))
+        return {
+            "ok": False,
+            "payload": None,
+            "error": {"kind": "crash",
+                      "message": "injected worker crash (serial path)"},
+            "seconds": time.perf_counter() - started,
+        }
+    if kind == "worker_hang":
+        if _IN_WORKER:
+            time.sleep(float(fault.get("wall_seconds", 3600.0)))
+            return None  # killed long before this on any sane timeout
+        return {
+            "ok": False,
+            "payload": None,
+            "error": {"kind": "timeout",
+                      "message": "injected worker hang (serial path)"},
+            "seconds": time.perf_counter() - started,
+        }
+    if kind == "worker_error":
+        return {
+            "ok": False,
+            "payload": None,
+            "error": {"kind": "error",
+                      "message": str(fault.get("message",
+                                               "injected worker error"))},
+            "seconds": time.perf_counter() - started,
+        }
+    return None
+
+
 def _worker_main(conn, worker_id: int) -> None:
     """Worker loop: receive chunks of spec dicts, announce and run each
     shard, report results, idle until the next chunk or ``stop``."""
+    global _IN_WORKER
+    _IN_WORKER = True
     try:
         while True:
             message = conn.recv()
@@ -175,30 +233,48 @@ class _Worker:
 def run_campaign(campaign: Campaign, workers: int = 1,
                  chunk_size: Optional[int] = None,
                  default_timeout: Optional[float] = None,
-                 max_respawns: Optional[int] = None) -> CampaignResult:
+                 max_respawns: Optional[int] = None,
+                 fault_plan=None) -> CampaignResult:
     """Run every shard of ``campaign`` and merge deterministically.
 
     ``workers <= 1`` is the hermetic serial fallback (same execution
     function, no subprocesses).  ``default_timeout`` applies to shards
-    whose spec does not set its own timeout.
+    whose spec does not set its own timeout.  ``fault_plan`` (a
+    :class:`repro.faults.FaultPlan` or its dict form) stamps
+    worker-process faults onto the matching shard specs.
     """
+    from repro.faults.plan import FaultPlan
+
     started = time.perf_counter()
+    overlay = FaultPlan.coerce(fault_plan).worker_faults()
     if workers <= 1 or len(campaign) <= 1:
-        shard_results = _run_serial(campaign)
+        shard_results = _run_serial(campaign, overlay)
         effective_workers = 1
     else:
         shard_results = _run_pool(campaign, workers, chunk_size,
-                                  default_timeout, max_respawns)
+                                  default_timeout, max_respawns, overlay)
         effective_workers = workers
     return merge_results(campaign, shard_results,
                          workers=effective_workers,
                          wall_seconds=time.perf_counter() - started)
 
 
-def _run_serial(campaign: Campaign) -> List[ShardResult]:
+def _spec_dicts(campaign: Campaign, overlay: Dict[int, dict]) -> List[dict]:
     out = []
     for spec in campaign:
-        result = _execute_spec(spec.to_dict())
+        spec_dict = spec.to_dict()
+        fault = overlay.get(spec.index)
+        if fault is not None:
+            spec_dict["fault"] = fault
+        out.append(spec_dict)
+    return out
+
+
+def _run_serial(campaign: Campaign,
+                overlay: Dict[int, dict]) -> List[ShardResult]:
+    out = []
+    for spec, spec_dict in zip(campaign, _spec_dicts(campaign, overlay)):
+        result = _execute_spec(spec_dict)
         out.append(ShardResult(spec.index, spec.label, result["ok"],
                                result["payload"], result["error"],
                                result["seconds"], worker=0))
@@ -208,7 +284,8 @@ def _run_serial(campaign: Campaign) -> List[ShardResult]:
 def _run_pool(campaign: Campaign, workers: int,
               chunk_size: Optional[int],
               default_timeout: Optional[float],
-              max_respawns: Optional[int]) -> List[ShardResult]:
+              max_respawns: Optional[int],
+              overlay: Dict[int, dict]) -> List[ShardResult]:
     import multiprocessing as mp
     from multiprocessing.connection import wait as connection_wait
 
@@ -222,7 +299,7 @@ def _run_pool(campaign: Campaign, workers: int,
         max_respawns = total  # every shard may kill at most one worker
 
     pending: deque = deque()
-    ordered = [spec.to_dict() for spec in campaign]
+    ordered = _spec_dicts(campaign, overlay)
     for at in range(0, total, chunk_size):
         pending.append(ordered[at:at + chunk_size])
 

@@ -64,6 +64,9 @@ class ActivityReport:
         # subfarm name -> vlan -> activity
         self.subfarms: Dict[str, Dict[int, InmateActivity]] = {}
         self.cs_vlans: Dict[str, Optional[int]] = {}
+        # subfarm name -> resilience summary (only for subfarms that
+        # ran with the fault plane's resilience layer enabled).
+        self.degradation: Dict[str, dict] = {}
 
     @classmethod
     def from_subfarms(cls, subfarms, blocklist=None,
@@ -97,6 +100,9 @@ class ActivityReport:
                 activity.blacklisted = blocklist.listed(activity.global_ip)
         self.subfarms[subfarm.name] = inmates
         self.cs_vlans[subfarm.name] = None
+        resilience = getattr(subfarm.router, "resilience", None)
+        if resilience is not None:
+            self.degradation[subfarm.name] = resilience.summary()
 
     # ------------------------------------------------------------------
     def verdict_totals(self) -> Dict[str, int]:
@@ -208,6 +214,26 @@ def render_report(report: ActivityReport, telemetry=None) -> str:
                 status = ("LISTED — investigate containment!"
                           if activity.blacklisted else "clean")
                 lines.append(f"Blacklist check     {status}")
+            lines.append("")
+    if report.degradation:
+        header = "Containment degradation"
+        lines.append(header)
+        lines.append("=" * len(header))
+        lines.append("")
+        for name in sorted(report.degradation):
+            summary = report.degradation[name]
+            lines.append(f"Subfarm '{name}' "
+                         f"(pending policy: {summary['pending_policy']})")
+            lines.append(
+                f"  fail-closed {summary['fail_closed']:>6}   "
+                f"fail-open {summary['fail_open']:>6}   "
+                f"retries {summary['retries']:>6}   "
+                f"failovers {summary['failovers']:>6}")
+            lines.append(
+                f"  degraded refusals {summary['degraded_refusals']:>6}   "
+                f"degraded seconds {summary['degraded_seconds']:.1f}")
+            for ip in sorted(summary["servers"]):
+                lines.append(f"  cs {ip:<16} {summary['servers'][ip]}")
             lines.append("")
     if telemetry is not None and telemetry.enabled:
         from repro.obs.export import render_text

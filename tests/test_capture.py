@@ -134,3 +134,108 @@ class TestPcap:
         # Reuse the ladder scenario's farm via the experiment module.
         result = run_figure5(seed=9, duration=60.0)
         assert result.seq_bump_observed  # scenario sanity
+
+
+class TestPcapSnaplen:
+    def test_snapped_record_keeps_wire_length(self, tmp_path):
+        """incl_len records stored bytes, orig_len the wire length —
+        exactly libpcap's contract for frames longer than snaplen."""
+        import struct
+
+        trace = PacketTrace()
+        trace.capture(1.0, frame(TCPSegment(1000, 80, flags=SYN,
+                                            payload=b"X" * 400)))
+        path = tmp_path / "snap.pcap"
+        write_pcap(str(path), trace.records, snaplen=64)
+
+        raw = path.read_bytes()
+        snaplen_field = struct.unpack("!I", raw[16:20])[0]
+        assert snaplen_field == 64
+        seconds, micros, incl_len, orig_len = struct.unpack(
+            "!IIII", raw[24:40])
+        assert incl_len == 64
+        assert orig_len > 64
+        # The record body really is 64 bytes — file ends right after.
+        assert len(raw) == 24 + 16 + 64
+
+    def test_deeply_snapped_records_skipped_on_read(self, tmp_path):
+        """A reader must not crash on snapped frames: ones cut beyond
+        parseability are skipped, parseable ones still come back."""
+        trace = PacketTrace()
+        trace.capture(1.0, frame(TCPSegment(1000, 80, flags=SYN,
+                                            payload=b"Y" * 400)))
+        path = tmp_path / "deep.pcap"
+        # snaplen=16 cuts into the IP header: nothing to parse.
+        assert write_pcap(str(path), trace.records, snaplen=16) == 1
+        assert read_pcap(str(path)) == []
+
+    def test_snapped_payload_keeps_parseable_headers(self, tmp_path):
+        """Snapping inside the TCP payload leaves the headers intact —
+        the record reads back with a truncated payload, not an error."""
+        trace = PacketTrace()
+        trace.capture(1.0, frame(TCPSegment(1000, 80, flags=SYN,
+                                            payload=b"Y" * 400)))
+        trace.capture(2.0, frame(TCPSegment(1001, 25, flags=SYN)))
+        path = tmp_path / "mixed.pcap"
+        assert write_pcap(str(path), trace.records, snaplen=64) == 2
+
+        records = read_pcap(str(path))
+        assert len(records) == 2
+        assert len(records[0].ip.tcp.payload) < 400
+        assert records[1].ip.tcp.dport == 25
+
+    def test_full_frames_unaffected_by_snaplen(self, tmp_path):
+        trace = PacketTrace()
+        trace.capture(1.0, frame(UDPDatagram(53, 53, b"q")))
+        path = tmp_path / "fits.pcap"
+        write_pcap(str(path), trace.records, snaplen=65535)
+        records = read_pcap(str(path))
+        assert len(records) == 1
+        assert records[0].ip.udp.payload == b"q"
+
+    def test_snaplen_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pcap(str(tmp_path / "bad.pcap"), [], snaplen=0)
+
+
+class TestPcapTimestamps:
+    def test_sub_microsecond_rounds_carry_into_seconds(self, tmp_path):
+        """t = 3.9999999 rounds to 4.000000, never to an out-of-range
+        microseconds field of 1_000_000."""
+        import struct
+
+        trace = PacketTrace()
+        trace.capture(3.9999999, frame(UDPDatagram(53, 53, b"q")))
+        path = tmp_path / "carry.pcap"
+        write_pcap(str(path), trace.records)
+
+        raw = path.read_bytes()
+        seconds, micros = struct.unpack("!II", raw[24:32])
+        assert (seconds, micros) == (4, 0)
+
+        records = read_pcap(str(path))
+        assert records[0].timestamp == pytest.approx(4.0, abs=1e-9)
+
+    def test_round_trip_preserves_microsecond_precision(self, tmp_path):
+        trace = PacketTrace()
+        times = [0.0, 1.25, 2.000001, 1234.999999]
+        for t in times:
+            trace.capture(t, frame(UDPDatagram(53, 53, b"q")))
+        path = tmp_path / "precise.pcap"
+        write_pcap(str(path), trace.records)
+
+        records = read_pcap(str(path))
+        assert len(records) == len(times)
+        for record, t in zip(records, times):
+            assert record.timestamp == pytest.approx(t, abs=1e-6)
+
+    def test_truncated_record_body_is_an_error(self, tmp_path):
+        trace = PacketTrace()
+        trace.capture(1.0, frame(UDPDatagram(53, 53, b"q")))
+        path = tmp_path / "cut.pcap"
+        write_pcap(str(path), trace.records)
+        raw = path.read_bytes()
+        (tmp_path / "cut.pcap").write_bytes(raw[:-5])
+
+        with pytest.raises(ValueError, match="truncated pcap record"):
+            read_pcap(str(path))

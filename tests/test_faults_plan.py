@@ -1,0 +1,138 @@
+"""FaultSpec / FaultPlan: validation, round-trip, digests, targeting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="meteor_strike")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="shim_drop", probability=0.5, severity=9)
+
+    def test_probability_bounds(self):
+        FaultSpec(kind="shim_drop", probability=0.0)
+        FaultSpec(kind="shim_drop", probability=1.0)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="shim_drop", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="shim_drop", probability=-0.1)
+
+    def test_cs_crash_requires_at(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="cs_crash")
+        FaultSpec(kind="cs_crash", at=10.0)
+
+    def test_worker_kinds_require_shard(self):
+        for kind in ("worker_crash", "worker_hang", "worker_error"):
+            with pytest.raises(ValueError):
+                FaultSpec(kind=kind)
+            FaultSpec(kind=kind, shard=0)
+
+    def test_window_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="shim_partition", start=50.0, end=20.0)
+        FaultSpec(kind="shim_partition", start=20.0, end=50.0)
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="revert_fail", count=0)
+        FaultSpec(kind="revert_fail", count=1)
+
+    def test_restore_after_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="cs_crash", at=5.0, restore_after=0.0)
+        FaultSpec(kind="cs_crash", at=5.0, restore_after=1.0)
+
+
+class TestFaultSpecWindow:
+    def test_active_window(self):
+        spec = FaultSpec(kind="shim_partition", start=20.0, end=50.0)
+        assert not spec.active(19.9)
+        assert spec.active(20.0)
+        assert spec.active(49.9)
+        assert not spec.active(50.0)
+
+    def test_open_ended_window(self):
+        spec = FaultSpec(kind="shim_drop", probability=0.5, start=10.0)
+        assert spec.active(10.0)
+        assert spec.active(1e9)
+
+
+class TestFaultSpecRoundTrip:
+    def test_to_dict_emits_only_non_defaults(self):
+        spec = FaultSpec(kind="shim_drop", probability=0.25, start=10.0)
+        data = spec.to_dict()
+        assert data == {"kind": "shim_drop", "probability": 0.25,
+                        "start": 10.0}
+
+    def test_round_trip(self):
+        spec = FaultSpec(kind="cs_crash", at=30.0, restore_after=40.0,
+                         subfarm="alpha", server=1)
+        clone = FaultSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone.to_dict() == spec.to_dict()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises((TypeError, ValueError)):
+            FaultSpec.from_dict({"kind": "shim_drop", "wat": 1})
+
+
+class TestFaultPlan:
+    def plan(self):
+        return FaultPlan([
+            FaultSpec(kind="cs_crash", at=30.0, subfarm="alpha"),
+            FaultSpec(kind="shim_partition", start=20.0, end=50.0),
+            FaultSpec(kind="worker_crash", shard=3),
+            FaultSpec(kind="revert_fail", vlan=101, count=2),
+        ])
+
+    def test_empty(self):
+        assert FaultPlan().is_empty
+        assert not self.plan().is_empty
+
+    def test_coerce_forms(self):
+        plan = self.plan()
+        assert FaultPlan.coerce(None).is_empty
+        assert FaultPlan.coerce(plan) is plan
+        from_dict = FaultPlan.coerce(plan.to_dict())
+        assert from_dict.to_dict() == plan.to_dict()
+        from_list = FaultPlan.coerce([s.to_dict() for s in plan.specs])
+        assert from_list.to_dict() == plan.to_dict()
+
+    def test_round_trip_through_json(self):
+        plan = self.plan()
+        clone = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert clone.to_dict() == plan.to_dict()
+        assert clone.digest() == plan.digest()
+
+    def test_digest_stable_and_sensitive(self):
+        assert self.plan().digest() == self.plan().digest()
+        other = FaultPlan([FaultSpec(kind="cs_crash", at=31.0,
+                                     subfarm="alpha")])
+        assert other.digest() != self.plan().digest()
+
+    def test_for_subfarm_filters_targeting(self):
+        plan = self.plan()
+        alpha = [s.kind for s in plan.for_subfarm("alpha")]
+        beta = [s.kind for s in plan.for_subfarm("beta")]
+        # Untargeted link faults apply everywhere; worker faults never
+        # reach a subfarm view.
+        assert alpha == ["cs_crash", "shim_partition", "revert_fail"]
+        assert beta == ["shim_partition", "revert_fail"]
+
+    def test_worker_faults_keyed_by_shard(self):
+        overlay = self.plan().worker_faults()
+        assert list(overlay) == [3]
+        assert overlay[3]["kind"] == "worker_crash"
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises((TypeError, ValueError)):
+            FaultPlan.from_dict({"specs": [], "extra": True})

@@ -125,6 +125,36 @@ class TestFarmConfigRoundTrip:
         assert FarmConfig.from_dict(config.to_dict()).to_dict() \
             == config.to_dict()
 
+    def test_fault_and_resilience_options_round_trip(self):
+        config = FarmConfig(
+            seed=4,
+            fault_plan={"specs": [
+                {"kind": "cs_crash", "at": 30.0, "restore_after": 40.0},
+                {"kind": "shim_drop", "probability": 0.2,
+                 "start": 10.0, "end": 80.0, "subfarm": "alpha"},
+            ]},
+            verdict_deadline=5.0,
+            verdict_retries=3,
+            retry_backoff=1.5,
+            pending_policy="forward",
+            cs_probe_interval=2.5,
+            cs_failure_threshold=4,
+            lifecycle_retry_limit=1,
+            lifecycle_retry_backoff=10.0,
+        )
+        clone = FarmConfig.from_dict(
+            json.loads(json.dumps(config.to_dict())))
+        assert clone.to_dict() == config.to_dict()
+        assert clone.verdict_deadline == 5.0
+        assert clone.pending_policy == "forward"
+        assert not clone.fault_plan.is_empty
+        assert clone.fault_plan.digest() == config.fault_plan.digest()
+
+    def test_empty_fault_plan_round_trips_empty(self):
+        clone = FarmConfig.from_dict(FarmConfig().to_dict())
+        assert clone.fault_plan.is_empty
+        assert clone.verdict_deadline is None
+
     def test_unknown_keys_fail_loudly(self):
         with pytest.raises(ValueError):
             FarmConfig.from_dict({"seed": 1, "not_a_knob": True})
