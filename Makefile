@@ -2,7 +2,7 @@ PYTHON ?= python
 WORKERS ?= 2
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-parallel chaos-quick paper-benches
+.PHONY: test bench bench-quick bench-parallel chaos-quick fuzz-quick paper-benches
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,6 +22,13 @@ bench-quick:
 # leaks and a same-cell determinism replay (docs/RESILIENCE.md).
 chaos-quick:
 	$(PYTHON) -m repro.experiments.fault_matrix --quick --workers $(WORKERS)
+
+# Fuzz smoke: fixed-seed hostile inputs through every parser (twice,
+# asserting a byte-identical corpus digest) and through a live farm
+# trunk under both isolate and fail-stop malice policies, compared
+# against the digests tracked in FUZZ_quick.json (docs/HARDENING.md).
+fuzz-quick:
+	$(PYTHON) -m repro.fuzz --quick
 
 paper-benches:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

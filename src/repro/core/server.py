@@ -29,10 +29,10 @@ from repro.core.shim import (
     REQUEST_SHIM_LEN,
     RequestShim,
     ResponseShim,
-    ShimError,
 )
 from repro.core.verdicts import ContainmentDecision, Verdict
 from repro.net.addresses import IPv4Address
+from repro.net.errors import ParseError
 from repro.net.flow import FiveTuple
 from repro.net.host import Host
 from repro.net.packet import IPv4Packet, PROTO_UDP, UDPDatagram
@@ -153,6 +153,19 @@ class _CsConnection:
 
     # ------------------------------------------------------------------
     def _on_data(self, conn: TcpConnection, data: bytes) -> None:
+        # The malice barrier also guards the server's own ingest: a
+        # ParseError from the shim parser — or from any protocol parser
+        # a policy/rewriter runs over inmate content — aborts only this
+        # flow's leg, never the server's event loop.
+        try:
+            self._on_data_body(conn, data)
+        except ParseError as error:
+            barrier = self.server.barrier
+            if barrier is not None:
+                barrier.record(error, data=bytes(data))
+            conn.abort()
+
+    def _on_data_body(self, conn: TcpConnection, data: bytes) -> None:
         if self.decision is not None and self.rewriter is not None:
             self.rewriter.on_client_data(self.proxy, data)
             return
@@ -162,11 +175,9 @@ class _CsConnection:
                 return
             blob = bytes(self.buffer[:REQUEST_SHIM_LEN])
             del self.buffer[:REQUEST_SHIM_LEN]
-            try:
-                self.shim = RequestShim.from_bytes(blob)
-            except ShimError:
-                conn.abort()
-                return
+            # A malformed request shim propagates to _on_data's
+            # barrier, which aborts this connection.
+            self.shim = RequestShim.from_bytes(blob)
             self.shim_seen_at = self.server.sim.now
             self.policy, self.ctx = self.server._resolve(self.shim)
             decision = self.policy.decide(self.ctx)
@@ -244,6 +255,9 @@ class ContainmentServer:
         # Fault-injection seam: a ServerFaultState installed by the
         # farm's FaultInjector (None in fault-free farms).
         self.fault_state = None
+        # Malice-barrier seam: the subfarm points this at the router's
+        # barrier so gateway and server drops share one ledger.
+        self.barrier = None
 
         tel = sim.telemetry
         self._m_verdicts = tel.counter(
@@ -349,17 +363,24 @@ class ContainmentServer:
     # ------------------------------------------------------------------
     def _udp_datagram(self, host: Host, packet: IPv4Packet,
                       datagram: UDPDatagram) -> None:
+        try:
+            self._udp_datagram_body(host, packet, datagram)
+        except ParseError as error:
+            barrier = self.barrier
+            if barrier is not None:
+                barrier.record(error, data=bytes(datagram.payload))
+
+    def _udp_datagram_body(self, host: Host, packet: IPv4Packet,
+                           datagram: UDPDatagram) -> None:
         fault = self.fault_state
         if fault is not None and not fault.responsive(self.sim.now):
             return  # crashed or hung: datagrams vanish
         payload = datagram.payload
         if len(payload) < REQUEST_SHIM_LEN:
             return
-        try:
-            shim = RequestShim.from_bytes(payload[:REQUEST_SHIM_LEN],
-                                          proto=PROTO_UDP)
-        except ShimError:
-            return
+        # A malformed shim propagates to _udp_datagram's barrier.
+        shim = RequestShim.from_bytes(payload[:REQUEST_SHIM_LEN],
+                                      proto=PROTO_UDP)
         content = payload[REQUEST_SHIM_LEN:]
         policy, ctx = self._resolve(shim)
 

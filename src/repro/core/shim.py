@@ -39,6 +39,7 @@ from typing import Optional
 
 from repro.core.verdicts import ContainmentDecision, Verdict
 from repro.net.addresses import IPv4Address
+from repro.net.errors import ParseError
 from repro.net.flow import FiveTuple
 
 SHIM_MAGIC = 0x47512121  # "GQ!!"
@@ -56,8 +57,20 @@ _PREAMBLE = struct.Struct("!IHBB")
 _FOUR_TUPLE = struct.Struct("!4s4sHH")
 
 
-class ShimError(ValueError):
-    """Raised on malformed shim messages."""
+class ShimError(ParseError):
+    """Raised on malformed shim messages.
+
+    A :class:`~repro.net.errors.ParseError` with ``protocol="shim"`` —
+    the shim parser participates in the uniform parse-error taxonomy,
+    so the gateway's malice barrier and all pre-existing
+    ``except ShimError`` sites see the same exception.
+    """
+
+    def __init__(self, reason: str, offset: int = 0) -> None:
+        super().__init__("shim", reason, offset)
+
+    def __reduce__(self):
+        return (self.__class__, (self.reason, self.offset))
 
 
 def _pack_preamble(length: int, msg_type: int) -> bytes:
@@ -66,12 +79,13 @@ def _pack_preamble(length: int, msg_type: int) -> bytes:
 
 def _unpack_preamble(data: bytes) -> tuple:
     if len(data) < _PREAMBLE.size:
-        raise ShimError("truncated shim preamble")
+        raise ShimError(f"truncated shim preamble ({len(data)} of "
+                        f"{_PREAMBLE.size} bytes)", offset=len(data))
     magic, length, msg_type, version = _PREAMBLE.unpack(data[:_PREAMBLE.size])
     if magic != SHIM_MAGIC:
-        raise ShimError(f"bad shim magic {magic:#x}")
+        raise ShimError(f"bad shim magic {magic:#x}", offset=0)
     if version != SHIM_VERSION:
-        raise ShimError(f"unsupported shim version {version}")
+        raise ShimError(f"unsupported shim version {version}", offset=7)
     return length, msg_type
 
 
@@ -107,9 +121,15 @@ class RequestShim:
     def from_bytes(cls, data: bytes, proto: int = 6) -> "RequestShim":
         length, msg_type = _unpack_preamble(data)
         if msg_type != TYPE_REQUEST:
-            raise ShimError(f"expected request shim, got type {msg_type}")
-        if length != REQUEST_SHIM_LEN or len(data) < REQUEST_SHIM_LEN:
-            raise ShimError("bad request shim length")
+            raise ShimError(f"expected request shim, got type {msg_type}",
+                            offset=6)
+        if length != REQUEST_SHIM_LEN:
+            raise ShimError(f"bad request shim length field ({length}, "
+                            f"expected {REQUEST_SHIM_LEN})", offset=4)
+        if len(data) < REQUEST_SHIM_LEN:
+            raise ShimError(f"request shim truncated mid-field "
+                            f"({len(data)} of {REQUEST_SHIM_LEN} bytes)",
+                            offset=len(data))
         orig_raw, resp_raw, orig_port, resp_port = _FOUR_TUPLE.unpack(
             data[8:20]
         )
@@ -209,9 +229,15 @@ class ResponseShim:
     def from_bytes(cls, data: bytes, proto: int = 6) -> "ResponseShim":
         length, msg_type = _unpack_preamble(data)
         if msg_type != TYPE_RESPONSE:
-            raise ShimError(f"expected response shim, got type {msg_type}")
-        if length < RESPONSE_SHIM_MIN_LEN or len(data) < length:
-            raise ShimError("bad response shim length")
+            raise ShimError(f"expected response shim, got type {msg_type}",
+                            offset=6)
+        if length < RESPONSE_SHIM_MIN_LEN:
+            raise ShimError(f"response shim length field below minimum "
+                            f"({length} < {RESPONSE_SHIM_MIN_LEN})", offset=4)
+        if len(data) < length:
+            raise ShimError(f"response shim truncated mid-field "
+                            f"({len(data)} of {length} bytes)",
+                            offset=len(data))
         orig_raw, resp_raw, orig_port, resp_port = _FOUR_TUPLE.unpack(data[8:20])
         (opcode,) = struct.unpack("!I", data[20:24])
         policy = data[24:24 + POLICY_TAG_LEN].rstrip(b"\x00").decode(
@@ -221,13 +247,24 @@ class ResponseShim:
         annotation = annotation_raw.decode("utf-8", "replace")
         if annotation.startswith("rate="):
             rate_text, _, rest = annotation.partition(";")
-            rate = float(rate_text[5:])
+            try:
+                rate = float(rate_text[5:])
+            except ValueError:
+                raise ShimError(
+                    f"malformed rate annotation {rate_text!r}",
+                    offset=24 + POLICY_TAG_LEN) from None
             annotation = rest
         flow = FiveTuple(
             IPv4Address.from_bytes(orig_raw), orig_port,
             IPv4Address.from_bytes(resp_raw), resp_port, proto,
         )
-        return cls(flow, Verdict(opcode), policy, annotation, rate)
+        try:
+            verdict = Verdict(opcode)
+            verdict.validate()
+        except ValueError:
+            raise ShimError(f"invalid verdict opcode {opcode:#x}",
+                            offset=20) from None
+        return cls(flow, verdict, policy, annotation, rate)
 
     def __repr__(self) -> str:
         return f"<ResponseShim {self.verdict!r} policy={self.policy!r} {self.flow}>"

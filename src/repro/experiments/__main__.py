@@ -120,6 +120,12 @@ def _run_fault_matrix(args) -> dict:
     return summarize(result)
 
 
+def _run_hostile_traffic(args) -> dict:
+    from repro.experiments.hostile_traffic import run_hostile_traffic
+
+    return run_hostile_traffic(seed=args.seed, duration=args.duration)
+
+
 EXPERIMENTS = {
     "gateway-load-sweep": (
         _run_gateway_load_sweep,
@@ -141,6 +147,12 @@ EXPERIMENTS = {
         _run_containment_tradeoff,
         "§3/§8 behaviour-vs-harm regimes over the mixed population",
         {"duration": 900.0, "seed": 77},
+    ),
+    "hostile-traffic": (
+        _run_hostile_traffic,
+        "malice-policy sweep under a deterministic hostile-frame "
+        "stream (docs/HARDENING.md)",
+        {"duration": 120.0, "seed": 11},
     ),
     "fault-matrix": (
         _run_fault_matrix,

@@ -70,6 +70,8 @@ class FarmConfig:
         cs_failure_threshold: int = 2,
         lifecycle_retry_limit: int = 2,
         lifecycle_retry_backoff: float = 30.0,
+        malice_policy: str = "isolate",
+        quarantine_max_frames: int = 1024,
     ) -> None:
         self.seed = seed
         # Four /24s for the inmate population, one for control (§6.7).
@@ -104,6 +106,18 @@ class FarmConfig:
         self.cs_failure_threshold = cs_failure_threshold
         self.lifecycle_retry_limit = lifecycle_retry_limit
         self.lifecycle_retry_backoff = lifecycle_retry_backoff
+        # Malice barrier (docs/HARDENING.md): what happens when a
+        # parser rejects ingested bytes — "isolate" aborts the
+        # offending flow, "fail-stop" freezes the subfarm's ingest,
+        # "count" only records.
+        from repro.gateway.barrier import POLICIES
+
+        if malice_policy not in POLICIES:
+            raise ValueError(
+                f"malice_policy must be one of {POLICIES}, "
+                f"not {malice_policy!r}")
+        self.malice_policy = malice_policy
+        self.quarantine_max_frames = quarantine_max_frames
 
     # ------------------------------------------------------------------
     # Serialization — ships configs to campaign workers
@@ -132,6 +146,8 @@ class FarmConfig:
             "cs_failure_threshold": self.cs_failure_threshold,
             "lifecycle_retry_limit": self.lifecycle_retry_limit,
             "lifecycle_retry_backoff": self.lifecycle_retry_backoff,
+            "malice_policy": self.malice_policy,
+            "quarantine_max_frames": self.quarantine_max_frames,
         }
 
     @classmethod
@@ -147,7 +163,8 @@ class FarmConfig:
             "fault_plan", "verdict_deadline", "verdict_retries",
             "retry_backoff", "pending_policy", "cs_probe_interval",
             "cs_failure_threshold", "lifecycle_retry_limit",
-            "lifecycle_retry_backoff",
+            "lifecycle_retry_backoff", "malice_policy",
+            "quarantine_max_frames",
         }
         unknown = set(data) - known
         if unknown:
@@ -212,6 +229,9 @@ class Subfarm:
             control_pool=farm.control_pool,
         )
         farm.gateway.add_router(self.router)
+        self.router.barrier.policy = farm.config.malice_policy
+        self.router.barrier.quarantine_max_frames = \
+            farm.config.quarantine_max_frames
 
         # Containment server: a host on the service segment plus an
         # out-of-band interface on the management network (§5.5).
@@ -235,6 +255,8 @@ class Subfarm:
             sim, lifecycle=self.containment_server.issue_lifecycle
         )
         self.containment_server.attach_triggers(self.trigger_engine)
+        # Gateway and server drops land in one shared ledger.
+        self.containment_server.barrier = self.router.barrier
 
         # DNS resolver service host (restricted broadcast domain).
         self.resolver_host = Host(sim, f"{name}-dns", ip=self.dns_ip)
@@ -368,6 +390,7 @@ class Subfarm:
                 service_time=service_time,
             )
             server.attach_triggers(self.trigger_engine)
+            server.barrier = self.router.barrier
             self.extra_containment_servers.append(server)
             self.router.add_containment_server(host.ip)
             self._cs_servers[host.ip] = server
@@ -446,6 +469,11 @@ class Subfarm:
         upstream_path = os.path.join(directory, "upstream.pcap")
         write_pcap(upstream_path, self.farm.gateway.upstream_trace.records)
         paths["upstream"] = upstream_path
+        if self.router.barrier.quarantine:
+            quarantine_path = os.path.join(
+                directory, f"{self.name}-quarantine.pcap")
+            self.router.barrier.export_quarantine(quarantine_path)
+            paths["quarantine"] = quarantine_path
         return paths
 
     def remove_inmate(self, vlan: int) -> None:

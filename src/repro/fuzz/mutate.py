@@ -1,0 +1,115 @@
+"""Deterministic byte-level mutation engine.
+
+Every operator draws exclusively from the engine's own
+``random.Random`` instance (Mersenne Twister — stable output across
+supported Python versions), so a seed fully determines the mutation
+stream and corpus digests are reproducible anywhere.
+
+The operator set targets the failure modes network parsers actually
+have: flipped bits, truncations at field boundaries, *lying* length
+fields (a 16-bit big-endian value overwritten with an extreme), the
+duplicated and overlapping segments of hostile TCP reassembly, and
+zero-fill / garbage-insertion to upset delimiter scans.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List
+
+MAX_GROWTH = 4096  # mutations never grow an input beyond input+this
+
+
+class MutationEngine:
+    """Seed-driven mutator: ``mutate()`` applies 1–3 random operators."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self._ops: List[Callable[[bytearray], None]] = [
+            self._bit_flip,
+            self._byte_set,
+            self._truncate,
+            self._lie_length,
+            self._duplicate_slice,
+            self._overlap_slice,
+            self._delete_slice,
+            self._zero_fill,
+            self._insert_garbage,
+        ]
+
+    def mutate(self, data: bytes) -> bytes:
+        buf = bytearray(data)
+        for _ in range(self.rng.randint(1, 3)):
+            self.rng.choice(self._ops)(buf)
+        return bytes(buf)
+
+    # -- operators -----------------------------------------------------
+    def _bit_flip(self, buf: bytearray) -> None:
+        if not buf:
+            return
+        index = self.rng.randrange(len(buf))
+        buf[index] ^= 1 << self.rng.randrange(8)
+
+    def _byte_set(self, buf: bytearray) -> None:
+        if not buf:
+            return
+        index = self.rng.randrange(len(buf))
+        buf[index] = self.rng.choice((0x00, 0xFF, 0x7F, 0x80,
+                                      self.rng.randrange(256)))
+
+    def _truncate(self, buf: bytearray) -> None:
+        if len(buf) < 2:
+            return
+        del buf[self.rng.randrange(1, len(buf)):]
+
+    def _lie_length(self, buf: bytearray) -> None:
+        """Overwrite a 16-bit big-endian window with an extreme value —
+        the classic lying length field."""
+        if len(buf) < 2:
+            return
+        offset = self.rng.randrange(len(buf) - 1)
+        value = self.rng.choice((0, 1, 0x7FFF, 0xFFFF,
+                                 len(buf) * 2, len(buf) // 2))
+        buf[offset:offset + 2] = (value & 0xFFFF).to_bytes(2, "big")
+
+    def _duplicate_slice(self, buf: bytearray) -> None:
+        if not buf or len(buf) > MAX_GROWTH:
+            return
+        start = self.rng.randrange(len(buf))
+        end = min(len(buf), start + self.rng.randint(1, 64))
+        at = self.rng.randrange(len(buf) + 1)
+        buf[at:at] = buf[start:end]
+
+    def _overlap_slice(self, buf: bytearray) -> None:
+        """Copy one region onto another — overlapping-segment data."""
+        if len(buf) < 4:
+            return
+        length = self.rng.randint(1, max(1, len(buf) // 2))
+        src = self.rng.randrange(len(buf) - length + 1)
+        dst = self.rng.randrange(len(buf) - length + 1)
+        buf[dst:dst + length] = buf[src:src + length]
+
+    def _delete_slice(self, buf: bytearray) -> None:
+        if len(buf) < 2:
+            return
+        start = self.rng.randrange(len(buf))
+        end = min(len(buf), start + self.rng.randint(1, 32))
+        del buf[start:end]
+
+    def _zero_fill(self, buf: bytearray) -> None:
+        if not buf:
+            return
+        start = self.rng.randrange(len(buf))
+        end = min(len(buf), start + self.rng.randint(1, 32))
+        buf[start:end] = bytes(end - start)
+
+    def _insert_garbage(self, buf: bytearray) -> None:
+        if len(buf) > MAX_GROWTH:
+            return
+        at = self.rng.randrange(len(buf) + 1)
+        chunk = bytes(self.rng.randrange(256)
+                      for _ in range(self.rng.randint(1, 16)))
+        buf[at:at] = chunk
+
+
+__all__ = ["MutationEngine", "MAX_GROWTH"]

@@ -1,0 +1,254 @@
+"""Parser-level and farm-level fuzz loops, plus the pinned quick mode.
+
+Two loops, one contract (docs/HARDENING.md):
+
+* :func:`fuzz_parsers` drives every registered
+  :class:`~repro.fuzz.generators.FuzzTarget` round-robin with
+  generated-then-mutated inputs.  A parser may succeed or raise
+  :class:`~repro.net.errors.ParseError`; anything else is an *escape*,
+  which gets minimized and pinned into a corpus directory.
+* :func:`fuzz_farm` builds a whole farm and feeds
+  :func:`~repro.fuzz.generators.hostile_frame` bytes straight into the
+  gateway trunk (``SubfarmRouter.ingest_wire``).  The malice barrier
+  must absorb everything — the run itself completing *is* the
+  assertion that no hostile input unwinds the event loop.
+
+Determinism: both loops draw all randomness from ``random.Random``
+instances derived from the caller's seed, so the corpus digest (a
+sha256 over every generated input) is byte-identical across machines.
+:func:`run_quick` asserts this by running the parser loop twice and by
+comparing against the digests tracked in ``FUZZ_quick.json``
+(``make fuzz-quick``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+from typing import Dict, List, Optional
+
+from repro.fuzz.corpus import CorpusStore, minimize
+from repro.fuzz.generators import TARGETS, hostile_frame
+from repro.fuzz.mutate import MutationEngine
+from repro.net.errors import ParseError
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))))
+PINNED_NAME = "FUZZ_quick.json"
+
+QUICK_SEED = 1211
+QUICK_ITERATIONS = 2000
+QUICK_FRAMES = 300
+
+#: Fraction of parser-loop inputs that get a second, grammar-blind
+#: mutation pass on top of the grammar-aware generator output.
+MUTATE_RATE = 0.5
+
+
+def _escape_of(parse, data: bytes) -> Optional[BaseException]:
+    """The exception ``parse`` leaks for ``data``, if it breaks the
+    succeed-or-ParseError contract; None otherwise."""
+    try:
+        parse(data)
+    except ParseError:
+        return None
+    except Exception as exc:  # noqa: BLE001 - the hunted signal
+        return exc
+    return None
+
+
+def fuzz_parsers(seed: int, iterations: int,
+                 corpus_dir: Optional[str] = None) -> dict:
+    """Round-robin every target for ``iterations`` inputs; minimize and
+    pin any escape into ``corpus_dir`` (when given)."""
+    rng = random.Random(seed)
+    engine = MutationEngine(seed ^ 0x5EED5EED)
+    names = sorted(TARGETS)
+    store = CorpusStore(corpus_dir) if corpus_dir else None
+
+    digest = hashlib.sha256()
+    ok = parse_errors = mutated = 0
+    escapes: List[dict] = []
+    for index in range(iterations):
+        name = names[index % len(names)]
+        target = TARGETS[name]
+        data = target.generate(rng)
+        if rng.random() < MUTATE_RATE:
+            data = engine.mutate(data)
+            mutated += 1
+        digest.update(name.encode())
+        digest.update(len(data).to_bytes(4, "big"))
+        digest.update(data)
+
+        exc = _escape_of(target.parse, data)
+        if exc is None:
+            try:
+                target.parse(data)
+                ok += 1
+            except ParseError:
+                parse_errors += 1
+            continue
+
+        shrunk = minimize(
+            data, lambda d: _escape_of(target.parse, d) is not None)
+        entry = {
+            "protocol": name,
+            "iteration": index,
+            "exception": type(exc).__name__,
+            "message": str(exc)[:200],
+            "input_len": len(data),
+            "minimized_len": len(shrunk),
+        }
+        if store is not None:
+            entry["pinned"] = os.path.basename(store.add(name, shrunk))
+        escapes.append(entry)
+
+    return {
+        "seed": seed,
+        "iterations": iterations,
+        "targets": len(names),
+        "ok": ok,
+        "parse_errors": parse_errors,
+        "mutated": mutated,
+        "escapes": escapes,
+        "digest": digest.hexdigest(),
+    }
+
+
+def fuzz_farm(seed: int, frames: int, policy: str = "isolate",
+              spacing: float = 0.05, settle: float = 30.0) -> dict:
+    """Feed ``frames`` hostile wire frames into a live subfarm trunk.
+
+    Returning at all means the event loop survived; the barrier summary
+    says what it absorbed.  Any exception unwinding ``farm.run`` is a
+    containment failure and propagates to the caller.
+    """
+    from repro.farm import Farm, FarmConfig
+
+    rng = random.Random(seed ^ 0xF00DF00D)
+    farm = Farm(FarmConfig(seed=seed, malice_policy=policy))
+    sub = farm.create_subfarm("fuzz")
+    router = sub.router
+
+    digest = hashlib.sha256()
+    when = 1.0
+    for _ in range(frames):
+        data = hostile_frame(rng)
+        vlan = rng.randrange(1, 31)
+        digest.update(vlan.to_bytes(2, "big"))
+        digest.update(len(data).to_bytes(4, "big"))
+        digest.update(data)
+        farm.sim.schedule(when,
+                          lambda v=vlan, d=data: router.ingest_wire(v, d),
+                          label="fuzz-frame")
+        when += spacing
+    farm.run(until=when + settle)
+
+    summary = router.barrier.summary()
+    digest.update(json.dumps(summary, sort_keys=True).encode())
+    return {
+        "seed": seed,
+        "policy": policy,
+        "frames": frames,
+        "virtual_seconds": farm.sim.now,
+        "events": farm.sim.events_processed,
+        "barrier": summary,
+        "survived": True,
+        "digest": digest.hexdigest(),
+    }
+
+
+def run_quick(seed: int = QUICK_SEED, iterations: int = QUICK_ITERATIONS,
+              frames: int = QUICK_FRAMES,
+              pinned_path: Optional[str] = None) -> dict:
+    """The ``make fuzz-quick`` smoke: parser loop (twice, for the
+    determinism digest), farm loop under both isolate and fail-stop,
+    all compared against the tracked ``FUZZ_quick.json``."""
+    violations: List[str] = []
+
+    parsers = fuzz_parsers(seed, iterations)
+    replay = fuzz_parsers(seed, iterations)
+    determinism = parsers["digest"] == replay["digest"]
+    if not determinism:
+        violations.append(
+            f"parser corpus digest drifts across identical runs "
+            f"({parsers['digest']} != {replay['digest']})")
+    if parsers["escapes"]:
+        for escape in parsers["escapes"]:
+            violations.append(
+                f"{escape['protocol']}: {escape['exception']} escaped "
+                f"the parser ({escape['message']})")
+
+    farm_runs: Dict[str, dict] = {}
+    for policy in ("isolate", "fail-stop"):
+        try:
+            farm_runs[policy] = fuzz_farm(seed, frames, policy=policy)
+        except Exception as exc:  # noqa: BLE001 - containment failure
+            violations.append(
+                f"farm fuzz under policy={policy} crashed the event "
+                f"loop: {type(exc).__name__}: {exc}")
+    isolate = farm_runs.get("isolate")
+    if isolate is not None and not isolate["barrier"]["parse_errors"]:
+        violations.append(
+            "farm fuzz recorded zero parse errors — the hostile frame "
+            "stream is not reaching the barrier")
+
+    summary = {
+        "experiment": "fuzz-quick",
+        "seed": seed,
+        "parsers": {
+            "iterations": parsers["iterations"],
+            "targets": parsers["targets"],
+            "ok": parsers["ok"],
+            "parse_errors": parsers["parse_errors"],
+            "escapes": len(parsers["escapes"]),
+            "digest": parsers["digest"],
+        },
+        "farm": {
+            policy: {
+                "frames": run["frames"],
+                "parse_errors": run["barrier"]["parse_errors"],
+                "isolated_flows": run["barrier"]["isolated_flows"],
+                "fail_stopped": run["barrier"]["fail_stopped"],
+                "quarantined": run["barrier"]["quarantined"],
+                "digest": run["digest"],
+            }
+            for policy, run in sorted(farm_runs.items())
+        },
+        "determinism": {"match": determinism},
+        "violations": violations,
+    }
+
+    path = pinned_path if pinned_path is not None \
+        else os.path.join(REPO_ROOT, PINNED_NAME)
+    if os.path.exists(path):
+        with open(path) as handle:
+            tracked = json.load(handle)
+        pinned_parser = tracked.get("parsers", {}).get("digest")
+        if pinned_parser and pinned_parser != parsers["digest"]:
+            violations.append(
+                f"parser corpus digest drifted from {PINNED_NAME} "
+                f"({pinned_parser} != {parsers['digest']})")
+        for policy, cell in tracked.get("farm", {}).items():
+            current = summary["farm"].get(policy, {}).get("digest")
+            if cell.get("digest") and current and \
+                    cell["digest"] != current:
+                violations.append(
+                    f"farm fuzz digest for policy={policy} drifted "
+                    f"from {PINNED_NAME}")
+        summary["pinned"] = {"path": os.path.basename(path),
+                             "match": not any(
+                                 "drifted" in v for v in violations)}
+    return summary
+
+
+__all__ = [
+    "QUICK_FRAMES",
+    "QUICK_ITERATIONS",
+    "QUICK_SEED",
+    "fuzz_farm",
+    "fuzz_parsers",
+    "run_quick",
+]

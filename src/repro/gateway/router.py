@@ -42,6 +42,7 @@ from repro.core.shim import (
     peek_length,
 )
 from repro.core.verdicts import ContainmentDecision, Verdict
+from repro.gateway.barrier import MaliceBarrier
 from repro.gateway.bridge import LearningBridge
 from repro.gateway.flows import (
     FlowLogEntry,
@@ -53,9 +54,11 @@ from repro.gateway.nat import InboundMode, NatTable
 from repro.gateway.safety import SafetyFilter
 from repro.net.addresses import IPv4Address
 from repro.net.capture import PacketTrace
+from repro.net.errors import ParseError
 from repro.net.flow import FiveTuple
 from repro.net.packet import (
     ACK,
+    EthernetFrame,
     FIN,
     IPv4Packet,
     PROTO_TCP,
@@ -127,6 +130,12 @@ class SubfarmRouter:
         # path is byte-identical to a build without these layers.
         self.shim_link_faults = None
         self.resilience = None
+
+        # The malice barrier is always on: with no hostile input it
+        # costs one attribute read per ingest (its try/except is free
+        # when nothing raises, and its telemetry cells bind lazily), so
+        # a clean run stays byte-identical to a build without it.
+        self.barrier = MaliceBarrier(sim, name, telemetry=sim.telemetry)
 
         self.telemetry = sim.telemetry
         self.bridge = LearningBridge(telemetry=self.telemetry, subfarm=name)
@@ -287,6 +296,40 @@ class SubfarmRouter:
     # Entry point: frames from inmates (trunk, tagged)
     # ------------------------------------------------------------------
     def inmate_frame(self, frame, vlan: int) -> None:
+        barrier = self.barrier
+        if barrier.fail_stopped:
+            barrier.note_failstop_drop()
+            return
+        try:
+            self._inmate_frame_body(frame, vlan)
+        except ParseError as error:
+            self._on_parse_error(error, vlan=vlan, frame=frame)
+
+    def ingest_wire(self, vlan: int, data: bytes) -> None:
+        """Raw-bytes trunk ingest: one wire-format Ethernet frame.
+
+        This is the hostile surface :mod:`repro.fuzz` drives — inmates
+        emit arbitrary bytes, so parse failures here are routine, not
+        exceptional.  Any :class:`ParseError` lands in the barrier;
+        anything else that escapes is a parser bug.
+        """
+        barrier = self.barrier
+        if barrier.fail_stopped:
+            barrier.note_failstop_drop()
+            return
+        try:
+            frame = EthernetFrame.from_bytes(data)
+        except ParseError as error:
+            self._on_parse_error(error, vlan=vlan, data=data)
+            return
+        if frame.vlan is not None:
+            vlan = frame.vlan
+        try:
+            self._inmate_frame_body(frame, vlan)
+        except ParseError as error:
+            self._on_parse_error(error, vlan=vlan, data=data)
+
+    def _inmate_frame_body(self, frame, vlan: int) -> None:
         self.trace.capture(self.sim.now, frame, point="inmate")
         packet = frame.payload
         if not isinstance(packet, IPv4Packet):
@@ -340,6 +383,16 @@ class SubfarmRouter:
         self._service_frame_body(frame)
 
     def _service_frame_body(self, frame) -> None:
+        barrier = self.barrier
+        if barrier.fail_stopped:
+            barrier.note_failstop_drop()
+            return
+        try:
+            self._service_frame_inner(frame)
+        except ParseError as error:
+            self._on_parse_error(error, vlan=None, frame=frame)
+
+    def _service_frame_inner(self, frame) -> None:
         packet = frame.payload
         if not isinstance(packet, IPv4Packet):
             return
@@ -389,6 +442,16 @@ class SubfarmRouter:
     # Entry point: packets from upstream addressed into this subfarm
     # ------------------------------------------------------------------
     def upstream_packet(self, packet: IPv4Packet) -> None:
+        barrier = self.barrier
+        if barrier.fail_stopped:
+            barrier.note_failstop_drop()
+            return
+        try:
+            self._upstream_packet_body(packet)
+        except ParseError as error:
+            self._on_parse_error(error, vlan=None, packet=packet)
+
+    def _upstream_packet_body(self, packet: IPv4Packet) -> None:
         proto = packet.proto
         if proto == PROTO_TCP or proto == PROTO_UDP:
             transport = packet.payload
@@ -428,6 +491,37 @@ class SubfarmRouter:
             self.nat.vlan_for_global(address) is not None
             or address in self._service_nat_rev
         )
+
+    # ------------------------------------------------------------------
+    # Malice barrier: hostile-input handling (never unwind the loop)
+    # ------------------------------------------------------------------
+    def _on_parse_error(self, error: ParseError, vlan: Optional[int] = None,
+                        frame=None, data: Optional[bytes] = None,
+                        packet: Optional[IPv4Packet] = None) -> None:
+        """A parser rejected ingested bytes: drop, count, quarantine,
+        and apply the configured policy."""
+        wire = frame if frame is not None else packet
+        policy = self.barrier.record(error, vlan=vlan, data=data, frame=wire)
+        if policy != "isolate":
+            return
+        if packet is None and frame is not None:
+            payload = getattr(frame, "payload", None)
+            if isinstance(payload, IPv4Packet):
+                packet = payload
+        if packet is not None:
+            self._isolate_offender(packet)
+
+    def _isolate_offender(self, packet: IPv4Packet) -> None:
+        """Abort the flow the offending bytes arrived on and drop its
+        demux state, so nothing more from it reaches a parser."""
+        if packet.proto not in (PROTO_TCP, PROTO_UDP):
+            return
+        record = self._index.get(FiveTuple.from_packet(packet))
+        if record is None:
+            return
+        self._abort_flow(record, notify_client=False)
+        self._evict(record)
+        self.barrier.note_isolation()
 
     # ------------------------------------------------------------------
     # DHCP (the gateway assigns internal addresses itself — §5.3)

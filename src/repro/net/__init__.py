@@ -18,6 +18,7 @@ Fidelity goals (what must be real for the reproduction to be honest):
 """
 
 from repro.net.addresses import IPv4Address, MacAddress
+from repro.net.errors import ParseError
 from repro.net.flow import FiveTuple, FlowDirection
 from repro.net.packet import (
     EthernetFrame,
@@ -31,6 +32,7 @@ from repro.net.packet import (
 __all__ = [
     "IPv4Address",
     "MacAddress",
+    "ParseError",
     "FiveTuple",
     "FlowDirection",
     "EthernetFrame",

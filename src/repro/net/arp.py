@@ -12,6 +12,7 @@ import struct
 from typing import Optional
 
 from repro.net.addresses import IPv4Address, MacAddress
+from repro.net.errors import ParseError
 
 ETHERTYPE_ARP = 0x0806
 
@@ -60,10 +61,13 @@ class ArpMessage:
     @classmethod
     def from_bytes(cls, data: bytes) -> "ArpMessage":
         if len(data) < 28:
-            raise ValueError("truncated ARP message")
+            raise ParseError("arp", f"truncated ARP message "
+                             f"({len(data)} of 28 bytes)", offset=len(data))
         htype, ptype, hlen, plen, op = struct.unpack("!HHBBH", data[:8])
         if (htype, ptype, hlen, plen) != (1, 0x0800, 6, 4):
-            raise ValueError("unsupported ARP hardware/protocol combination")
+            raise ParseError("arp", "unsupported ARP hardware/protocol "
+                             f"combination ({htype}/{ptype:#x}/{hlen}/{plen})",
+                             offset=0)
         return cls(
             op,
             MacAddress.from_bytes(data[8:14]),

@@ -14,12 +14,21 @@ import struct
 from typing import Dict, List, Optional, Tuple
 
 from repro.net.addresses import IPv4Address
+from repro.net.errors import ParseError
 
 QTYPE_A = 1
 QTYPE_MX = 15
 
 RCODE_OK = 0
 RCODE_NXDOMAIN = 3
+
+#: RFC 1035 §4.1.4 compression-pointer chains are bounded twice over:
+#: every pointer must point strictly backward (which alone guarantees
+#: termination) *and* chains longer than this are rejected outright —
+#: a self-referential or looping pointer raises ParseError instead of
+#: hanging the resolver.
+MAX_POINTER_HOPS = 16
+MAX_NAME_LENGTH = 255
 
 
 def encode_name(name: str) -> bytes:
@@ -36,20 +45,57 @@ def encode_name(name: str) -> bytes:
 
 
 def decode_name(data: bytes, offset: int) -> Tuple[str, int]:
-    """Decode labels at ``offset``; returns (name, next offset)."""
+    """Decode labels at ``offset``; returns (name, next offset).
+
+    Follows RFC 1035 compression pointers with two loop guards: each
+    pointer must point strictly backward, and chains are capped at
+    :data:`MAX_POINTER_HOPS`.  Hostile names (self-referential
+    pointers, forward pointers, over-long names, non-ASCII labels)
+    raise :class:`ParseError` rather than hanging or recursing.
+    """
     labels = []
+    name_length = 0
+    hops = 0
+    end: Optional[int] = None  # next offset in the un-compressed stream
     while True:
         if offset >= len(data):
-            raise ValueError("truncated DNS name")
+            raise ParseError("dns", "truncated name", offset=len(data))
         length = data[offset]
+        if length & 0xC0 == 0xC0:
+            if offset + 1 >= len(data):
+                raise ParseError("dns", "truncated compression pointer",
+                                 offset=offset)
+            pointer = ((length & 0x3F) << 8) | data[offset + 1]
+            if end is None:
+                end = offset + 2
+            if pointer >= offset:
+                raise ParseError(
+                    "dns", "compression pointer does not point backward "
+                    f"({pointer} >= {offset})", offset=offset)
+            hops += 1
+            if hops > MAX_POINTER_HOPS:
+                raise ParseError("dns", "compression pointer chain exceeds "
+                                 f"{MAX_POINTER_HOPS} hops", offset=offset)
+            offset = pointer
+            continue
+        if length & 0xC0:
+            raise ParseError("dns", f"reserved label type {length >> 6:#x}",
+                             offset=offset)
         offset += 1
         if length == 0:
             break
-        if length >= 64:
-            raise ValueError("DNS name compression not supported")
-        labels.append(data[offset:offset + length].decode("ascii"))
+        name_length += length + 1
+        if name_length > MAX_NAME_LENGTH:
+            raise ParseError("dns", f"name exceeds {MAX_NAME_LENGTH} bytes",
+                             offset=offset)
+        if offset + length > len(data):
+            raise ParseError("dns", "truncated label", offset=offset)
+        try:
+            labels.append(data[offset:offset + length].decode("ascii"))
+        except UnicodeDecodeError:
+            raise ParseError("dns", "non-ascii label", offset=offset) from None
         offset += length
-    return ".".join(labels), offset
+    return ".".join(labels), (end if end is not None else offset)
 
 
 class DnsQuestion:
@@ -67,6 +113,8 @@ class DnsQuestion:
     @classmethod
     def from_bytes(cls, data: bytes, offset: int) -> Tuple["DnsQuestion", int]:
         name, offset = decode_name(data, offset)
+        if offset + 4 > len(data):
+            raise ParseError("dns", "truncated question", offset=offset)
         qtype, _qclass = struct.unpack("!HH", data[offset:offset + 4])
         return cls(name, qtype), offset + 4
 
@@ -114,17 +162,29 @@ class DnsRecord:
     @classmethod
     def from_bytes(cls, data: bytes, offset: int) -> Tuple["DnsRecord", int]:
         name, offset = decode_name(data, offset)
+        if offset + 10 > len(data):
+            raise ParseError("dns", "truncated record header", offset=offset)
         rtype, _rclass, ttl, rdlen = struct.unpack("!HHIH", data[offset:offset + 10])
         offset += 10
+        if offset + rdlen > len(data):
+            raise ParseError("dns", f"rdata length overruns message "
+                             f"({rdlen} bytes claimed)", offset=offset)
         rdata = data[offset:offset + rdlen]
         offset += rdlen
         if rtype == QTYPE_A:
+            if len(rdata) != 4:
+                raise ParseError("dns", f"A rdata must be 4 bytes "
+                                 f"(got {len(rdata)})", offset=offset - rdlen)
             return cls.a(name, IPv4Address.from_bytes(rdata), ttl), offset
         if rtype == QTYPE_MX:
+            if len(rdata) < 3:
+                raise ParseError("dns", "truncated MX rdata",
+                                 offset=offset - rdlen)
             (priority,) = struct.unpack("!H", rdata[:2])
             exchange, _ = decode_name(rdata, 2)
             return cls.mx(name, exchange, priority, ttl), offset
-        raise ValueError(f"unsupported record type {rtype}")
+        raise ParseError("dns", f"unsupported record type {rtype}",
+                         offset=offset - rdlen - 10)
 
 
 class DnsMessage:
@@ -172,10 +232,12 @@ class DnsMessage:
     @classmethod
     def from_bytes(cls, data: bytes) -> "DnsMessage":
         if len(data) < 12:
-            raise ValueError("truncated DNS header")
+            raise ParseError("dns", f"truncated DNS header "
+                             f"({len(data)} of 12 bytes)", offset=len(data))
         txid, flags, qdcount, ancount, _ns, _ar = struct.unpack("!HHHHHH", data[:12])
         if qdcount != 1:
-            raise ValueError("only single-question messages supported")
+            raise ParseError("dns", "only single-question messages "
+                             f"supported (qdcount={qdcount})", offset=4)
         question, offset = DnsQuestion.from_bytes(data, 12)
         answers = []
         for _ in range(ancount):

@@ -15,10 +15,16 @@ import struct
 from typing import Optional
 
 from repro.net.addresses import IPv4Address
+from repro.net.errors import ParseError
 from repro.net.packet import IPv4Packet
 
 PROTO_GRE = 47
 GRE_PROTO_IPV4 = 0x0800
+
+#: :func:`unwrap` refuses nesting deeper than this — a GRE-in-GRE
+#: "encapsulation bomb" must not drive the decapsulator into an
+#: unbounded loop.
+MAX_NESTING = 8
 
 _HEADER = struct.Struct("!HH")  # flags/version, protocol type
 
@@ -46,3 +52,25 @@ def decapsulate(outer: IPv4Packet) -> Optional[IPv4Packet]:
         return IPv4Packet.from_bytes(raw[_HEADER.size:])
     except ValueError:
         return None
+
+
+def unwrap(outer: IPv4Packet, max_nesting: int = MAX_NESTING) -> IPv4Packet:
+    """Fully decapsulate nested GRE, bounded against encapsulation bombs.
+
+    Returns the innermost non-GRE packet.  A packet still GRE after
+    ``max_nesting`` layers raises :class:`ParseError` — deep
+    GRE-in-GRE nesting is an attack on decapsulator resources, not a
+    legitimate tunnel topology.
+    """
+    packet = outer
+    for _ in range(max_nesting):
+        if packet.proto != PROTO_GRE:
+            return packet
+        inner = decapsulate(packet)
+        if inner is None:
+            return packet
+        packet = inner
+    if packet.proto == PROTO_GRE:
+        raise ParseError("gre", f"encapsulation nested deeper than "
+                         f"{max_nesting} layers", offset=0)
+    return packet

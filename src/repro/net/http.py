@@ -11,8 +11,15 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.net.errors import ParseError
+
 CRLF = b"\r\n"
 HEADER_END = b"\r\n\r\n"
+
+#: A header block that exceeds this without terminating is rejected —
+#: bounding the parser's buffer against a hostile peer that streams
+#: header bytes forever.
+MAX_HEADER_BYTES = 65536
 
 
 class HttpMessage:
@@ -169,6 +176,11 @@ class HttpParser:
         if not self._headers_done:
             end = self._buffer.find(HEADER_END)
             if end < 0:
+                if len(self._buffer) > MAX_HEADER_BYTES:
+                    raise ParseError(
+                        "http", f"header block exceeds {MAX_HEADER_BYTES} "
+                        "bytes without terminating",
+                        offset=MAX_HEADER_BYTES)
                 return None
             block = bytes(self._buffer[:end])
             del self._buffer[:end + len(HEADER_END)]
@@ -179,13 +191,30 @@ class HttpParser:
                 self._current = HttpRequest(method, path, headers, version=version)
             else:
                 version = parts[0]
-                status = int(parts[1]) if len(parts) > 1 else 200
+                if len(parts) > 1:
+                    try:
+                        status = int(parts[1])
+                    except ValueError:
+                        raise ParseError(
+                            "http", f"non-numeric status {parts[1]!r}",
+                            offset=len(version) + 1) from None
+                else:
+                    status = 200
                 reason = parts[2] if len(parts) > 2 else ""
                 self._current = HttpResponse(status, headers, reason=reason,
                                              version=version)
             length = self._current.header("Content-Length")
             if length is not None:
-                self._body_remaining = int(length)
+                try:
+                    self._body_remaining = int(length)
+                except ValueError:
+                    raise ParseError(
+                        "http", f"malformed Content-Length {length!r}",
+                        offset=end) from None
+                if self._body_remaining < 0:
+                    raise ParseError(
+                        "http", f"negative Content-Length {length!r}",
+                        offset=end)
                 self._until_close = False
             elif self.role == "response" and status not in (204, 304):
                 # No length on a response: framed by close.

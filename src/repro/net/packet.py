@@ -19,6 +19,7 @@ from array import array
 from typing import Dict, Optional, Tuple, Union
 
 from repro.net.addresses import IPv4Address, MacAddress
+from repro.net.errors import ParseError
 
 PROTO_TCP = 6
 PROTO_UDP = 17
@@ -60,6 +61,38 @@ def _ones_complement_sum(data: bytes) -> int:
 def internet_checksum(data: bytes) -> int:
     """RFC 1071 Internet checksum of ``data``."""
     return (~_ones_complement_sum(data)) & 0xFFFF
+
+
+def _validate_tcp_options(options: bytes) -> None:
+    """Walk the TCP option TLVs; malformed lengths raise ParseError.
+
+    The stack itself never emits options (data offset is always 5), so
+    anything here came off a hostile wire: a zero/short option length
+    or one running past the header is how lying length fields smuggle
+    mis-framing into naive parsers.
+    """
+    index = 0
+    end = len(options)
+    while index < end:
+        kind = options[index]
+        if kind == 0:        # End of Option List
+            return
+        if kind == 1:        # NOP
+            index += 1
+            continue
+        if index + 1 >= end:
+            raise ParseError("tcp", f"truncated option (kind {kind})",
+                             offset=20 + index)
+        length = options[index + 1]
+        if length < 2:
+            raise ParseError("tcp", f"option length below minimum "
+                             f"(kind {kind}, len {length})",
+                             offset=20 + index)
+        if index + length > end:
+            raise ParseError("tcp", f"option overruns header "
+                             f"(kind {kind}, len {length})",
+                             offset=20 + index)
+        index += length
 
 
 class TCPSegment:
@@ -193,11 +226,21 @@ class TCPSegment:
     @classmethod
     def from_bytes(cls, data: bytes) -> "TCPSegment":
         if len(data) < 20:
-            raise ValueError("truncated TCP header")
+            raise ParseError("tcp", "truncated TCP header "
+                             f"({len(data)} of 20 bytes)", offset=len(data))
         sport, dport, seq, ack, offset_flags, flags, window, _csum, _urg = (
             struct.unpack("!HHIIBBHHH", data[:20])
         )
         header_len = (offset_flags >> 4) * 4
+        if header_len < 20:
+            raise ParseError("tcp", f"data offset below minimum "
+                             f"({header_len} < 20)", offset=12)
+        if header_len > len(data):
+            raise ParseError("tcp", "options extend past segment end "
+                             f"(data offset {header_len}, segment "
+                             f"{len(data)})", offset=20)
+        if header_len > 20:
+            _validate_tcp_options(data[20:header_len])
         return cls(sport, dport, seq, ack, flags, window, data[header_len:])
 
     def __repr__(self) -> str:
@@ -268,8 +311,16 @@ class UDPDatagram:
     @classmethod
     def from_bytes(cls, data: bytes) -> "UDPDatagram":
         if len(data) < 8:
-            raise ValueError("truncated UDP header")
+            raise ParseError("udp", "truncated UDP header "
+                             f"({len(data)} of 8 bytes)", offset=len(data))
         sport, dport, length, _csum = struct.unpack("!HHHH", data[:8])
+        if length < 8:
+            # Snapping a capture never alters the length *field*, so a
+            # value below the fixed header size is always a lie.
+            raise ParseError("udp", f"length field below header size "
+                             f"({length} < 8)", offset=4)
+        # length > len(data) is tolerated: indistinguishable from a
+        # frame snapped inside the payload (see capture.write_pcap).
         return cls(sport, dport, data[8:length])
 
     def __repr__(self) -> str:
@@ -381,12 +432,26 @@ class IPv4Packet:
     @classmethod
     def from_bytes(cls, data: bytes) -> "IPv4Packet":
         if len(data) < 20:
-            raise ValueError("truncated IPv4 header")
+            raise ParseError("ipv4", "truncated IPv4 header "
+                             f"({len(data)} of 20 bytes)", offset=len(data))
         (ver_ihl, _tos, total_len, ident, _frag, ttl, proto, _csum,
          src_raw, dst_raw) = struct.unpack("!BBHHHBBH4s4s", data[:20])
         if ver_ihl >> 4 != 4:
-            raise ValueError("not an IPv4 packet")
+            raise ParseError("ipv4", f"not IPv4 (version {ver_ihl >> 4})",
+                             offset=0)
         header_len = (ver_ihl & 0xF) * 4
+        if header_len < 20:
+            raise ParseError("ipv4", f"IHL below minimum "
+                             f"({header_len} < 20)", offset=0)
+        if header_len > len(data):
+            raise ParseError("ipv4", "IHL extends past packet end "
+                             f"({header_len} > {len(data)})", offset=0)
+        if total_len < header_len:
+            # Like UDP's length field, snapping never shrinks total_len:
+            # a value below the header length is always hostile.
+            raise ParseError("ipv4", f"total length below header length "
+                             f"({total_len} < {header_len})", offset=2)
+        # total_len > len(data) is tolerated (frame snapped in payload).
         body = data[header_len:total_len]
         src = IPv4Address.from_bytes(src_raw)
         dst = IPv4Address.from_bytes(dst_raw)
@@ -468,15 +533,24 @@ class EthernetFrame:
     @classmethod
     def from_bytes(cls, data: bytes) -> "EthernetFrame":
         if len(data) < 14:
-            raise ValueError("truncated Ethernet header")
+            raise ParseError("ethernet", "truncated Ethernet header "
+                             f"({len(data)} of 14 bytes)", offset=len(data))
         dst = MacAddress.from_bytes(data[0:6])
         src = MacAddress.from_bytes(data[6:12])
         (ethertype,) = struct.unpack("!H", data[12:14])
         vlan = None
         offset = 14
         if ethertype == ETHERTYPE_VLAN:
+            if len(data) < 18:
+                raise ParseError("ethernet", "truncated 802.1Q tag "
+                                 f"({len(data)} of 18 bytes)", offset=14)
             (tci, ethertype) = struct.unpack("!HH", data[14:18])
             vlan = tci & 0x0FFF
+            if vlan == 0:
+                vlan = None  # priority tag: VID 0 means "no VLAN"
+            elif vlan == 4095:
+                raise ParseError("ethernet", "reserved VLAN ID 4095",
+                                 offset=14)
             offset = 18
         body = data[offset:]
         payload: Union[IPv4Packet, bytes]

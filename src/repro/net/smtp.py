@@ -25,6 +25,10 @@ from typing import Callable, List, Optional
 
 CRLF = b"\r\n"
 
+#: Sentinel returned by the line framer when a strict-mode engine has
+#: already answered 500 for an oversized line and discarded it.
+_DISCARDED_LINE = object()
+
 # How forgiving the server-side parser is (§7.1 "Protocol violations").
 class Strictness(enum.Enum):
     STRICT = "strict"    # by-the-RFC: bad syntax => 5xx, repeated HELO => 503
@@ -93,6 +97,11 @@ class SmtpServerEngine:
         Name used in replies.
     """
 
+    #: Lines longer than this are protocol anomalies: lenient engines
+    #: truncate and carry on (real spambots do send them), strict ones
+    #: answer 500.  Also bounds the buffer for never-terminated input.
+    MAX_LINE_LENGTH = 8192
+
     def __init__(
         self,
         send: Callable[[bytes], None],
@@ -101,6 +110,8 @@ class SmtpServerEngine:
         on_message: Optional[Callable[[SmtpTransaction], None]] = None,
         hostname: str = "mail.example.com",
         fault: Optional[dict] = None,
+        max_line_length: Optional[int] = None,
+        on_anomaly: Optional[Callable[[str, int], None]] = None,
     ) -> None:
         self._send = send
         self.banner = banner
@@ -110,17 +121,25 @@ class SmtpServerEngine:
         # Scripted fault injection for exploratory containment (§7.1):
         # {"stage": "mail"|"rcpt"|"data", "code": 550, "text": "..."}.
         self.fault = fault
+        self.max_line_length = (max_line_length if max_line_length is not None
+                                else self.MAX_LINE_LENGTH)
+        self.on_anomaly = on_anomaly
 
         self.state = SmtpState.COMMAND
         self.helo: str = ""
         self._buffer = bytearray()
         self._transaction: Optional[SmtpTransaction] = None
         self._data_lines: List[bytes] = []
+        self._last_byte = 0
 
         self.transactions: List[SmtpTransaction] = []
         self.commands_seen: List[str] = []
         self.syntax_errors = 0
         self.quit_received = False
+        # Protocol anomalies observed (bare_lf, oversized_line):
+        # tolerated at lenient fidelity, rejected at strict — but
+        # counted either way so telemetry sees the dialect.
+        self.anomalies: dict = {"bare_lf": 0, "oversized_line": 0}
 
         self._reply(220, self.banner)
 
@@ -130,30 +149,69 @@ class SmtpServerEngine:
         # upper-casing left latin-1 (e.g. µ -> Μ); never crash on it.
         self._send(f"{code} {text}".encode("latin-1", "replace") + CRLF)
 
+    def _note_anomaly(self, kind: str, count: int = 1) -> None:
+        self.anomalies[kind] = self.anomalies.get(kind, 0) + count
+        if self.on_anomaly is not None:
+            self.on_anomaly(kind, count)
+
     def feed(self, data: bytes) -> None:
         """Consume raw bytes from the client."""
+        if data:
+            # Count bare-LF line endings (C-speed; zero on CRLF input).
+            bare = data.count(b"\n") - data.count(b"\r\n")
+            if data[:1] == b"\n" and self._last_byte == 0x0D:
+                bare -= 1  # CRLF split across feed chunks
+            if bare:
+                self._note_anomaly("bare_lf", bare)
+            self._last_byte = data[-1]
         self._buffer.extend(data)
         while True:
-            index = self._buffer.find(CRLF)
-            if index < 0:
-                # Tolerate bare-LF line endings from sloppy clients.
-                if self.strictness is Strictness.LENIENT:
-                    index_lf = self._buffer.find(b"\n")
-                    if index_lf < 0:
-                        return
-                    line = bytes(self._buffer[:index_lf]).rstrip(b"\r")
-                    del self._buffer[:index_lf + 1]
-                else:
-                    return
-            else:
-                line = bytes(self._buffer[:index])
-                del self._buffer[:index + len(CRLF)]
+            line = self._next_line()
+            if line is None:
+                return
+            if line is _DISCARDED_LINE:
+                continue
             if self.state == SmtpState.DATA:
                 self._data_line(line)
             else:
                 self._command_line(line)
             if self.state == SmtpState.CLOSED:
                 return
+
+    def _next_line(self):
+        """One framed line, ``_DISCARDED_LINE`` (strict-mode oversize
+        rejection), or None when the buffer holds no complete line."""
+        index = self._buffer.find(CRLF)
+        if index < 0 and self.strictness is Strictness.LENIENT:
+            # Tolerate bare-LF line endings from sloppy clients.
+            index_lf = self._buffer.find(b"\n")
+            if index_lf >= 0:
+                line = bytes(self._buffer[:index_lf]).rstrip(b"\r")
+                del self._buffer[:index_lf + 1]
+                return self._clip_line(line)
+        if index < 0:
+            if len(self._buffer) > self.max_line_length:
+                # Never-terminated "line": bound the buffer instead of
+                # letting a hostile sender grow it without limit.
+                line = bytes(self._buffer[:self.max_line_length])
+                self._buffer.clear()
+                return self._clip_line(line, oversized=True)
+            return None
+        line = bytes(self._buffer[:index])
+        del self._buffer[:index + len(CRLF)]
+        return self._clip_line(line)
+
+    def _clip_line(self, line: bytes, oversized: bool = False):
+        if not oversized and len(line) <= self.max_line_length:
+            return line
+        self._note_anomaly("oversized_line")
+        if (self.strictness is Strictness.STRICT
+                and self.state != SmtpState.DATA):
+            self.syntax_errors += 1
+            self._reply(500, "line too long")
+            return _DISCARDED_LINE
+        # Lenient (or message body either way): truncate and carry on.
+        return line[:self.max_line_length]
 
     # ------------------------------------------------------------------
     def _command_line(self, line: bytes) -> None:

@@ -12,9 +12,14 @@ import struct
 from typing import Optional, Tuple
 
 from repro.net.addresses import IPv4Address
+from repro.net.errors import ParseError
 
 VERSION = 4
 CMD_CONNECT = 1
+
+#: A request whose user-id field runs past this without its NUL
+#: terminator is hostile (the field is a short identd name).
+MAX_USER_ID = 512
 
 REPLY_GRANTED = 90
 REPLY_REJECTED = 91
@@ -53,10 +58,15 @@ class Socks4Request:
             return None
         version, command, port = struct.unpack("!BBH", data[:4])
         if version != VERSION:
-            raise ValueError(f"not SOCKS4 (version {version})")
+            raise ParseError("socks4", f"not SOCKS4 (version {version})",
+                             offset=0)
         address = IPv4Address.from_bytes(data[4:8])
         terminator = data.find(b"\x00", 8)
         if terminator < 0:
+            if len(data) > 8 + MAX_USER_ID:
+                raise ParseError("socks4", "user-id field exceeds "
+                                 f"{MAX_USER_ID} bytes without terminator",
+                                 offset=8)
             return None
         user_id = data[8:terminator]
         return cls(address, port, command, user_id), terminator + 1

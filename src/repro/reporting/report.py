@@ -67,6 +67,9 @@ class ActivityReport:
         # subfarm name -> resilience summary (only for subfarms that
         # ran with the fault plane's resilience layer enabled).
         self.degradation: Dict[str, dict] = {}
+        # subfarm name -> malice-barrier summary (only for subfarms
+        # whose barrier rejected at least one input).
+        self.malformed: Dict[str, dict] = {}
 
     @classmethod
     def from_subfarms(cls, subfarms, blocklist=None,
@@ -103,6 +106,9 @@ class ActivityReport:
         resilience = getattr(subfarm.router, "resilience", None)
         if resilience is not None:
             self.degradation[subfarm.name] = resilience.summary()
+        barrier = getattr(subfarm.router, "barrier", None)
+        if barrier is not None and barrier.parse_errors:
+            self.malformed[subfarm.name] = barrier.summary()
 
     # ------------------------------------------------------------------
     def verdict_totals(self) -> Dict[str, int]:
@@ -234,6 +240,25 @@ def render_report(report: ActivityReport, telemetry=None) -> str:
                 f"degraded seconds {summary['degraded_seconds']:.1f}")
             for ip in sorted(summary["servers"]):
                 lines.append(f"  cs {ip:<16} {summary['servers'][ip]}")
+            lines.append("")
+    if report.malformed:
+        header = "Malformed traffic"
+        lines.append(header)
+        lines.append("=" * len(header))
+        lines.append("")
+        for name in sorted(report.malformed):
+            summary = report.malformed[name]
+            status = " FAIL-STOPPED" if summary["fail_stopped"] else ""
+            lines.append(f"Subfarm '{name}' "
+                         f"(malice policy: {summary['policy']}){status}")
+            lines.append(
+                f"  parse errors {summary['parse_errors']:>6}   "
+                f"isolated flows {summary['isolated_flows']:>6}   "
+                f"fail-stop drops {summary['failstop_drops']:>6}   "
+                f"quarantined {summary['quarantined']:>6}")
+            for key in sorted(summary["by_vlan_protocol"]):
+                lines.append(
+                    f"  {key:<24} {summary['by_vlan_protocol'][key]:>6}")
             lines.append("")
     if telemetry is not None and telemetry.enabled:
         from repro.obs.export import render_text

@@ -16,6 +16,7 @@ import struct
 from typing import Callable, Optional
 
 from repro.net.addresses import IPv4Address, MacAddress
+from repro.net.errors import ParseError
 from repro.net.host import BROADCAST_IP, Host
 from repro.net.packet import IPv4Packet, UDPDatagram
 
@@ -86,12 +87,15 @@ class DhcpMessage:
     @classmethod
     def from_bytes(cls, data: bytes) -> "DhcpMessage":
         if len(data) < _FORMAT.size:
-            raise ValueError("truncated DHCP message")
+            raise ParseError("dhcp", f"truncated DHCP message "
+                             f"({len(data)} of {_FORMAT.size} bytes)",
+                             offset=len(data))
         op, kind, xid, chaddr, yiaddr, router, dns, lease = _FORMAT.unpack(
             data[:_FORMAT.size]
         )
         if op != 1 or kind not in cls.KIND_NAMES:
-            raise ValueError("not a farm DHCP message")
+            raise ParseError("dhcp", f"not a farm DHCP message "
+                             f"(op={op}, kind={kind})", offset=0)
         return cls(
             kind, xid, MacAddress.from_bytes(chaddr),
             IPv4Address.from_bytes(yiaddr), IPv4Address.from_bytes(router),

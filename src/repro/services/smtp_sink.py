@@ -85,6 +85,12 @@ class SmtpSink:
         self.data_transfers = 0
         self.banner_cache: Dict[IPv4Address, str] = {}
         self.banner_fetches = 0
+        # Protocol anomalies (bare-LF line endings, oversized lines)
+        # aggregated across all sessions; telemetry cells bind lazily
+        # per kind so anomaly-free runs register nothing.
+        self.anomalies: Dict[str, int] = {}
+        self._anomaly_metric = None
+        self._anomaly_cells: Dict[str, object] = {}
 
         tel = host.sim.telemetry
         sessions = tel.counter(
@@ -155,6 +161,18 @@ class SmtpSink:
         upstream.on_fail = on_fail
         upstream.on_reset = on_fail
 
+    def _note_anomaly(self, kind: str, count: int) -> None:
+        self.anomalies[kind] = self.anomalies.get(kind, 0) + count
+        cell = self._anomaly_cells.get(kind)
+        if cell is None:
+            if self._anomaly_metric is None:
+                self._anomaly_metric = self.host.sim.telemetry.counter(
+                    "smtp.protocol_anomalies",
+                    "SMTP dialect anomalies seen by the sink, by kind")
+            cell = self._anomaly_metric.bind(kind=kind)
+            self._anomaly_cells[kind] = cell
+        cell.inc(count)
+
     def _start_engine(self, conn: TcpConnection, banner: str) -> None:
         engine = SmtpServerEngine(
             send=conn.send,
@@ -162,6 +180,7 @@ class SmtpSink:
             strictness=self.strictness,
             on_message=self._on_message,
             fault=self.fault,
+            on_anomaly=self._note_anomaly,
         )
         conn.app = engine
         conn.on_data = lambda c, d: engine.feed(d)

@@ -211,3 +211,89 @@ class TestDslProperties:
         policy = DslPolicy(program)
         surface = enumerate_surface(policy)
         assert len(surface.outcomes) + len(surface.undecided) > 0
+
+
+class TestHardenedRoundTrips:
+    """Serialize→parse round trips for the packet classes the hostile-
+    input hardening pass touched (docs/HARDENING.md): what a peer
+    emits, the hardened parser must still accept unchanged."""
+
+    macs = st.integers(min_value=0, max_value=(1 << 48) - 1).map(MacAddress)
+
+    @given(st.sampled_from([1, 2]), macs, ips, macs, ips)
+    def test_arp_round_trip(self, op, smac, sip, tmac, tip):
+        from repro.net.arp import ArpMessage
+
+        message = ArpMessage(op, smac, sip, tmac, tip)
+        parsed = ArpMessage.from_bytes(message.to_bytes())
+        assert (parsed.op, parsed.sender_mac, parsed.sender_ip,
+                parsed.target_mac, parsed.target_ip) == (
+            op, smac, sip, tmac, tip)
+
+    @given(st.sampled_from([1, 2, 3, 4]),
+           st.integers(min_value=0, max_value=0xFFFFFFFF),
+           macs, ips, ips, ips,
+           st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_dhcp_round_trip(self, kind, xid, chaddr, yiaddr, router,
+                             dns, lease):
+        from repro.services.dhcp import DhcpMessage
+
+        message = DhcpMessage(kind, xid, chaddr, yiaddr, router, dns, lease)
+        parsed = DhcpMessage.from_bytes(message.to_bytes())
+        assert (parsed.kind, parsed.xid, parsed.chaddr, parsed.yiaddr,
+                parsed.router, parsed.dns, parsed.lease) == (
+            kind, xid, chaddr, yiaddr, router, dns, lease)
+
+    @given(ips, ports,
+           st.binary(max_size=64).filter(lambda b: b"\x00" not in b))
+    def test_socks4_request_round_trip(self, address, port, user_id):
+        from repro.net.socks import Socks4Request
+
+        request = Socks4Request(address, port, user_id=user_id)
+        wire = request.to_bytes()
+        result = Socks4Request.parse(wire)
+        assert result is not None
+        parsed, consumed = result
+        assert consumed == len(wire)
+        assert (parsed.address, parsed.port, parsed.user_id) == (
+            address, port, user_id)
+
+    @given(st.integers(min_value=0, max_value=255), ports, ips)
+    def test_socks4_reply_round_trip(self, code, port, address):
+        from repro.net.socks import Socks4Reply
+
+        reply = Socks4Reply(code, port, address)
+        result = Socks4Reply.parse(reply.to_bytes())
+        assert result is not None
+        parsed, consumed = result
+        assert consumed == 8
+        assert (parsed.code, parsed.port, parsed.address) == (
+            code, port, address)
+
+    @settings(max_examples=40)
+    @given(ips, ips, ports, ports, payloads,
+           st.integers(min_value=1, max_value=8),
+           st.lists(st.tuples(ips, ips), min_size=8, max_size=8))
+    def test_gre_nesting_round_trip(self, src, dst, sport, dport,
+                                    payload, depth, hops):
+        from repro.net.gre import encapsulate, unwrap
+
+        inner = IPv4Packet(src, dst, UDPDatagram(sport, dport, payload))
+        packet = inner
+        for outer_src, outer_dst in hops[:depth]:
+            packet = encapsulate(packet, outer_src, outer_dst)
+        parsed = IPv4Packet.from_bytes(packet.to_bytes())
+        recovered = unwrap(parsed)
+        assert recovered.src == src and recovered.dst == dst
+        assert recovered.udp.payload == payload
+
+    @given(st.integers(min_value=0, max_value=0xFFFF),
+           st.integers(min_value=0, max_value=0xFFFF))
+    def test_dns_mx_round_trip(self, txid, priority):
+        reply = DnsMessage.query(txid, "victim.example").reply(
+            [DnsRecord.mx("victim.example", "mx1.victim.example",
+                          priority=priority)])
+        parsed = DnsMessage.from_bytes(reply.to_bytes())
+        answer = parsed.answers[0]
+        assert answer.exchange == "mx1.victim.example"
+        assert answer.priority == priority

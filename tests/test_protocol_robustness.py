@@ -11,6 +11,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.shim import ShimError, peek_length
 from repro.net.dns import DnsMessage
+from repro.net.errors import ParseError
 from repro.net.ftp import FtpServerEngine
 from repro.net.http import HttpParser
 from repro.net.irc import IrcNetwork, IrcServerEngine
@@ -48,8 +49,10 @@ class TestEnginesSurviveGarbage:
         for chunk in chunks:
             try:
                 parser.feed(chunk)
-            except ValueError:
+            except ParseError:
                 return  # malformed framing rejected loudly is fine
+            # Any other exception (bare ValueError included) escapes
+            # the taxonomy and fails the test.
 
     @settings(max_examples=60)
     @given(junk_chunks)

@@ -288,3 +288,67 @@ class TestSocks:
     def test_non_socks_raises(self):
         with pytest.raises(ValueError):
             Socks4Request.parse(b"\x05\x01\x00\x00\x00\x00\x00\x00\x00")
+
+
+class TestSmtpAnomalies:
+    """Hostile-dialect accounting (docs/HARDENING.md): bare-LF line
+    endings and oversized lines are tolerated where fidelity demands
+    it, but always counted as protocol anomalies."""
+
+    def make_server(self, **kwargs):
+        replies = []
+        server = SmtpServerEngine(send=replies.append, **kwargs)
+        return server, replies
+
+    def test_bare_lf_counted_and_tolerated_when_lenient(self):
+        server, replies = self.make_server()
+        server.feed(b"HELO spambot\nMAIL FROM: a@spam.example\n")
+        assert server.anomalies["bare_lf"] == 2
+        # Lenient fidelity: the dialect still works.
+        assert any(b"250" in reply for reply in replies)
+
+    def test_bare_lf_counted_but_not_framed_when_strict(self):
+        server, replies = self.make_server(strictness=Strictness.STRICT)
+        server.feed(b"HELO spambot\n")
+        assert server.anomalies["bare_lf"] == 1
+        # Strict framing waits for CRLF — nothing answered yet beyond
+        # the banner.
+        assert all(b"250" not in reply for reply in replies)
+
+    def test_crlf_split_across_feeds_is_not_bare_lf(self):
+        server, _ = self.make_server()
+        server.feed(b"HELO spambot\r")
+        server.feed(b"\nMAIL FROM: a@spam.example\r\n")
+        assert server.anomalies["bare_lf"] == 0
+
+    def test_oversized_line_truncated_when_lenient(self):
+        server, _ = self.make_server(max_line_length=64)
+        server.feed(b"HELO " + b"x" * 500 + b"\r\n")
+        assert server.anomalies["oversized_line"] == 1
+
+    def test_oversized_line_rejected_when_strict(self):
+        server, replies = self.make_server(strictness=Strictness.STRICT,
+                                           max_line_length=64)
+        before = server.syntax_errors
+        server.feed(b"HELO " + b"y" * 500 + b"\r\n")
+        assert server.anomalies["oversized_line"] == 1
+        assert server.syntax_errors == before + 1
+        assert any(b"500" in reply for reply in replies)
+
+    def test_unterminated_flood_is_bounded(self):
+        server, _ = self.make_server(max_line_length=64)
+        server.feed(b"z" * 10_000)  # no terminator at all
+        assert server.anomalies["oversized_line"] >= 1
+        assert len(server._buffer) <= 64
+
+    def test_on_anomaly_callback_fires(self):
+        events = []
+        server = SmtpServerEngine(
+            send=lambda _reply: None,
+            on_anomaly=lambda kind, count: events.append((kind, count)))
+        server.feed(b"HELO spambot\n")
+        assert ("bare_lf", 1) in events
+
+    def test_clean_dialogue_counts_nothing(self):
+        server, client = run_smtp_dialogue()
+        assert server.anomalies == {"bare_lf": 0, "oversized_line": 0}
