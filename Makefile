@@ -2,7 +2,7 @@ PYTHON ?= python
 WORKERS ?= 2
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-parallel chaos-quick fuzz-quick paper-benches
+.PHONY: test bench bench-quick bench-parallel chaos-quick fuzz-quick obs-quick paper-benches
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,6 +29,14 @@ chaos-quick:
 # against the digests tracked in FUZZ_quick.json (docs/HARDENING.md).
 fuzz-quick:
 	$(PYTHON) -m repro.fuzz --quick
+
+# Journal overhead gate: with the flight recorder off, farm digests
+# must stay byte-identical to the ones tracked in BENCH_hotpath.json;
+# with it on, digests are unchanged (observing never perturbs), the
+# journal digest is seed-stable, and fast-path forwarding stays within
+# 10% of the journal-off rate (docs/OBSERVABILITY.md).
+obs-quick:
+	$(PYTHON) benchmarks/bench_obs_overhead.py --quick
 
 paper-benches:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

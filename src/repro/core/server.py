@@ -258,6 +258,8 @@ class ContainmentServer:
         # Malice-barrier seam: the subfarm points this at the router's
         # barrier so gateway and server drops share one ledger.
         self.barrier = None
+        # Decision journal (NULL_JOURNAL unless the farm attached one).
+        self.journal = sim.journal
 
         tel = sim.telemetry
         self._m_verdicts = tel.counter(
@@ -354,6 +356,21 @@ class ContainmentServer:
         self._m_verdicts.inc(server=self.host.name, verdict=key)
         if received_at is not None:
             self._h_latency.observe(self.sim.now - received_at)
+        if self.journal.enabled:
+            # The router bound the gateway-side flow id to this alias
+            # when it admitted the flow; resolving it stitches the CS
+            # verdict into the same causal chain.
+            alias = f"vlan{shim.vlan_id}/{shim.flow}"
+            engine = self.trigger_engine
+            self.journal.record(
+                "verdict.issued",
+                flow=self.journal.flow_for(alias) or alias,
+                vlan=shim.vlan_id, server=self.host.name,
+                verdict=key, policy=decision.policy,
+                trigger_rules=(len(engine._rules)
+                               if engine is not None else 0),
+                trigger_suspended=(bool(engine._suspended)
+                                   if engine is not None else False))
         if self.trigger_engine is not None:
             self.trigger_engine.flow_event(shim.vlan_id, self.sim.now,
                                            shim.flow)

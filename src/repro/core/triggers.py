@@ -177,6 +177,9 @@ class TriggerEngine:
             return
         self._suspended = True
         self.suspensions.append([self.sim.now, None])
+        journal = self.sim.journal
+        if journal.enabled:
+            journal.record("trigger.suspended", rules=len(self._rules))
 
     def resume(self) -> None:
         """Re-arm after a suspension; windows restart from now so the
@@ -185,6 +188,10 @@ class TriggerEngine:
             return
         self._suspended = False
         self.suspensions[-1][1] = self.sim.now
+        journal = self.sim.journal
+        if journal.enabled:
+            journal.record("trigger.resumed", rules=len(self._rules),
+                           suspended_for=self.sim.now - self.suspensions[-1][0])
         for state in self._state.values():
             state.armed_at = self.sim.now
             if state.last_fired is not None:
@@ -233,6 +240,13 @@ class TriggerEngine:
 
     def _fire(self, spec: TriggerSpec, vlan: int,
               state: _TriggerState) -> None:
+        journal = self.sim.journal
+        if journal.enabled:
+            # Window count must be captured before the clear() below.
+            journal.record("trigger.fired", vlan=vlan,
+                           rule=spec.text or repr(spec),
+                           action=spec.action,
+                           window_events=len(state.events))
         state.last_fired = self.sim.now
         state.events.clear()
         state.ever_active = False

@@ -12,6 +12,12 @@ docs/PARALLELISM.md) and prints a JSON summary to stdout::
 
 ``--seeds a..b`` is an inclusive range; a comma list (``1,5,9``) also
 works.
+
+``--snapshot PATH`` writes the experiment's merged telemetry snapshot
+to a JSON file; ``--journal PATH`` writes the merged decision journal
+(docs/OBSERVABILITY.md) — on ``streaming-farm`` it also turns shard
+journaling on.  Both files feed ``python -m repro.obs`` (``why``,
+``grep``, ``diff``).
 """
 
 from __future__ import annotations
@@ -36,12 +42,48 @@ def parse_seeds(text: str) -> List[int]:
 
 def _campaign_summary(result) -> dict:
     summary = result.to_dict()
-    # Per-shard telemetry snapshots make CLI output unwieldy; the
-    # merged labeled snapshot stays.
+    # Per-shard telemetry/journal snapshots make CLI output unwieldy;
+    # the merged labeled views stay.
     for shard in summary["shards"]:
         if shard["payload"]:
             shard["payload"].pop("telemetry", None)
+            shard["payload"].pop("journal", None)
     return summary
+
+
+def _extract_artifact(summary: dict, key: str) -> Optional[dict]:
+    """Find a telemetry/journal dict at the top level or under
+    ``merged`` (campaign summaries)."""
+    if not isinstance(summary, dict):
+        return None
+    value = summary.get(key)
+    if isinstance(value, dict):
+        return value
+    merged = summary.get("merged")
+    if isinstance(merged, dict) and isinstance(merged.get(key), dict):
+        return merged[key]
+    return None
+
+
+def _write_json(path: str, doc: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _export_artifacts(args, summary: dict) -> None:
+    """Honour ``--snapshot`` / ``--journal`` for any experiment."""
+    for flag, key in (("snapshot", "telemetry"), ("journal", "journal")):
+        path = getattr(args, flag, None)
+        if not path:
+            continue
+        doc = _extract_artifact(summary, key)
+        if doc is None:
+            print(f"--{flag}: experiment produced no {key} data; "
+                  f"nothing written to {path}", file=sys.stderr)
+            continue
+        _write_json(path, doc)
+        print(f"wrote {key} to {path}", file=sys.stderr)
 
 
 # ----------------------------------------------------------------------
@@ -64,7 +106,11 @@ def _run_streaming_farm(args) -> dict:
         "streaming-farm-sweep",
         "repro.parallel.tasks:streaming_farm_shard",
         params={"subfarms": args.subfarms, "inmates": args.inmates_per,
-                "duration": args.duration},
+                "duration": args.duration,
+                # --journal turns shard journaling on so the campaign
+                # merge has journals to fold (determinism digests are
+                # unchanged either way).
+                "journal": bool(getattr(args, "journal", None))},
         seeds=args.seeds,
         count=None if args.seeds is not None else args.count,
         base_seed=args.seed)
@@ -187,6 +233,13 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--subfarms", type=int, default=3)
         cmd.add_argument("--inmates-per", type=int, default=4)
         cmd.add_argument("--indent", type=int, default=2)
+        cmd.add_argument("--snapshot", metavar="PATH",
+                         help="write the merged telemetry snapshot "
+                              "to this JSON file")
+        cmd.add_argument("--journal", metavar="PATH",
+                         help="write the merged decision journal to "
+                              "this JSON file (enables shard "
+                              "journaling where supported)")
     return parser
 
 
@@ -199,6 +252,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     runner = EXPERIMENTS[args.command][0]
     summary = runner(args)
+    _export_artifacts(args, summary)
     print(json.dumps(summary, indent=args.indent, sort_keys=True))
     return 0
 

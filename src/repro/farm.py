@@ -61,6 +61,9 @@ class FarmConfig:
         telemetry: bool = False,
         telemetry_snapshot_interval: Optional[float] = None,
         profile_callbacks: bool = False,
+        journal: bool = False,
+        journal_capacity: int = 65536,
+        journal_sample_interval: Optional[float] = None,
         fault_plan: Optional[object] = None,
         verdict_deadline: Optional[float] = None,
         verdict_retries: int = 2,
@@ -90,6 +93,12 @@ class FarmConfig:
         self.telemetry = telemetry
         self.telemetry_snapshot_interval = telemetry_snapshot_interval
         self.profile_callbacks = profile_callbacks
+        # Decision journal (repro.obs.journal, docs/OBSERVABILITY.md):
+        # off by default so a plain run schedules no sampling events
+        # and stays byte-identical to a build without the journal.
+        self.journal = journal
+        self.journal_capacity = journal_capacity
+        self.journal_sample_interval = journal_sample_interval
         # Fault plane + shim resilience (repro.faults, docs/RESILIENCE.md).
         # An empty plan and verdict_deadline=None leave every run path
         # byte-identical to a build without the fault plane.
@@ -137,6 +146,9 @@ class FarmConfig:
             "telemetry": self.telemetry,
             "telemetry_snapshot_interval": self.telemetry_snapshot_interval,
             "profile_callbacks": self.profile_callbacks,
+            "journal": self.journal,
+            "journal_capacity": self.journal_capacity,
+            "journal_sample_interval": self.journal_sample_interval,
             "fault_plan": self.fault_plan.to_dict(),
             "verdict_deadline": self.verdict_deadline,
             "verdict_retries": self.verdict_retries,
@@ -160,6 +172,7 @@ class FarmConfig:
             "safety_max_flows_per_destination", "safety_window",
             "telemetry", "telemetry_snapshot_interval",
             "profile_callbacks",
+            "journal", "journal_capacity", "journal_sample_interval",
             "fault_plan", "verdict_deadline", "verdict_retries",
             "retry_backoff", "pending_policy", "cs_probe_interval",
             "cs_failure_threshold", "lifecycle_retry_limit",
@@ -513,6 +526,23 @@ class Farm:
             if interval is not None and interval > 0:
                 self._schedule_snapshot(interval)
 
+        # Decision journal (the flight recorder): like telemetry, it
+        # must attach before any component is built — routers, barriers
+        # and servers capture sim.journal at construction.  A live
+        # journal records flow-level decisions only (never per-packet
+        # work) and, when journal_sample_interval is set, schedules a
+        # periodic gauge/counter sampler into fixed-interval rings.
+        if self.config.journal:
+            from repro.obs.journal import Journal
+
+            self.sim.attach_journal(Journal(
+                clock=lambda: self.sim.now,
+                capacity=self.config.journal_capacity,
+            ))
+            interval = self.config.journal_sample_interval
+            if interval is not None and interval > 0:
+                self._schedule_journal_samples(interval)
+
         # Fault plane: built only for a non-empty plan so a default
         # farm registers no fault telemetry, draws no RNG streams, and
         # schedules no events — digests stay byte-identical.
@@ -606,6 +636,9 @@ class Farm:
 
     def _on_lifecycle(self, action: str, vlan: int) -> None:
         """Clear gateway state when an inmate is recycled."""
+        journal = self.sim.journal
+        if journal.enabled:
+            journal.record("lifecycle", vlan=vlan, action=action)
         if action in ("revert", "terminate", "stop"):
             router = self.gateway.router_for_vlan(vlan)
             if router is not None:
@@ -633,6 +666,39 @@ class Farm:
             self.sim.schedule(interval, capture, label="telemetry-snapshot")
 
         self.sim.schedule(interval, capture, label="telemetry-snapshot")
+
+    # ------------------------------------------------------------------
+    # Decision journal
+    # ------------------------------------------------------------------
+    @property
+    def journal(self):
+        """The farm-wide decision journal (NULL_JOURNAL when the
+        ``journal`` config flag is off)."""
+        return self.sim.journal
+
+    def journal_snapshot(self) -> dict:
+        """JSON-safe view of the decision journal (schema
+        ``gq.journal/1``); see repro.obs.journal."""
+        return self.sim.journal.snapshot()
+
+    def _schedule_journal_samples(self, interval: float) -> None:
+        """Periodic time-series sampling of key farm gauges/counters
+        into the journal's fixed-interval rings.  Only scheduled when
+        the journal is live, so disabled runs see no extra events."""
+        def sample() -> None:
+            journal = self.sim.journal
+            journal.sample("sim.events", self.sim.events_processed)
+            journal.sample("sim.queue.depth", self.sim.pending)
+            journal.sample("journal.recorded", journal.recorded)
+            for name in sorted(self.subfarms):
+                counters = self.subfarms[name].router.counters
+                journal.sample(f"router.{name}.flows_created",
+                               counters.get("flows_created", 0))
+                journal.sample(f"router.{name}.packets_relayed",
+                               counters.get("packets_relayed", 0))
+            self.sim.schedule(interval, sample, label="journal-sample")
+
+        self.sim.schedule(interval, sample, label="journal-sample")
 
     # ------------------------------------------------------------------
     def run(self, until: float, max_events: Optional[int] = None) -> float:

@@ -74,6 +74,10 @@ class ShimLinkFaults:
     # ------------------------------------------------------------------
     def _count(self, kind: str) -> None:
         self._m_injected.inc(subfarm=self.subfarm, kind=kind)
+        journal = self.sim.journal
+        if journal.enabled:
+            journal.record("fault.injected", fault=kind,
+                           subfarm=self.subfarm)
 
     def _drop_or_delay(self, now: float, server_ip) -> object:
         """Shared disposition: ``"drop"``, a delay in seconds, or 0."""
@@ -166,16 +170,23 @@ class ServerFaultState:
                 self.slow_windows.append(spec)
 
     # ------------------------------------------------------------------
+    def _count(self, kind: str) -> None:
+        self._m_injected.inc(subfarm=self.subfarm, kind=kind)
+        journal = self.sim.journal
+        if journal.enabled:
+            journal.record("fault.injected", fault=kind,
+                           subfarm=self.subfarm)
+
     def _crash(self) -> None:
         self.crashed = True
         self.crashes += 1
         # A crash loses any verdicts the hang machinery was holding.
         self.held.clear()
-        self._m_injected.inc(subfarm=self.subfarm, kind="cs-crash")
+        self._count("cs-crash")
 
     def _restore(self) -> None:
         self.crashed = False
-        self._m_injected.inc(subfarm=self.subfarm, kind="cs-restore")
+        self._count("cs-restore")
 
     def hung(self, now: float) -> bool:
         return any(spec.active(now) for spec in self.hang_windows)
@@ -190,7 +201,7 @@ class ServerFaultState:
 
     def hold(self, cs_conn, decision) -> None:
         self.held.append((cs_conn, decision))
-        self._m_injected.inc(subfarm=self.subfarm, kind="cs-hang-hold")
+        self._count("cs-hang-hold")
 
     def _flush_held(self) -> None:
         held, self.held = self.held, []
@@ -224,6 +235,10 @@ class LifecycleFaultGate:
                     continue
                 entry[1] = remaining - 1
             self._m_injected.inc(subfarm=self.subfarm, kind=spec.kind)
+            journal = self.sim.journal
+            if journal.enabled:
+                journal.record("fault.injected", fault=spec.kind,
+                               subfarm=self.subfarm)
             return True
         return False
 

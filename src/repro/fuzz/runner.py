@@ -128,7 +128,11 @@ def fuzz_farm(seed: int, frames: int, policy: str = "isolate",
     from repro.farm import Farm, FarmConfig
 
     rng = random.Random(seed ^ 0xF00DF00D)
-    farm = Farm(FarmConfig(seed=seed, malice_policy=policy))
+    # The journal rides along so every quarantine decision is audited
+    # (docs/OBSERVABILITY.md); it never feeds the frame/barrier digest,
+    # so pinned digests are unaffected.
+    farm = Farm(FarmConfig(seed=seed, malice_policy=policy,
+                           journal=True))
     sub = farm.create_subfarm("fuzz")
     router = sub.router
 
@@ -148,6 +152,10 @@ def fuzz_farm(seed: int, frames: int, policy: str = "isolate",
 
     summary = router.barrier.summary()
     digest.update(json.dumps(summary, sort_keys=True).encode())
+    journal = farm.journal
+    quarantine_events = sum(
+        1 for event in journal.events()
+        if event.kind == "barrier.quarantine")
     return {
         "seed": seed,
         "policy": policy,
@@ -157,6 +165,9 @@ def fuzz_farm(seed: int, frames: int, policy: str = "isolate",
         "barrier": summary,
         "survived": True,
         "digest": digest.hexdigest(),
+        "journal_events": journal.recorded,
+        "journal_quarantines": quarantine_events,
+        "journal_digest": journal.digest(),
     }
 
 
@@ -194,6 +205,13 @@ def run_quick(seed: int = QUICK_SEED, iterations: int = QUICK_ITERATIONS,
         violations.append(
             "farm fuzz recorded zero parse errors — the hostile frame "
             "stream is not reaching the barrier")
+    for policy, run in sorted(farm_runs.items()):
+        if run["journal_quarantines"] != run["barrier"]["parse_errors"]:
+            violations.append(
+                f"journal audit mismatch under policy={policy}: "
+                f"{run['journal_quarantines']} barrier.quarantine "
+                f"events vs {run['barrier']['parse_errors']} parse "
+                f"errors — a quarantine went unjournaled")
 
     summary = {
         "experiment": "fuzz-quick",
@@ -214,6 +232,8 @@ def run_quick(seed: int = QUICK_SEED, iterations: int = QUICK_ITERATIONS,
                 "fail_stopped": run["barrier"]["fail_stopped"],
                 "quarantined": run["barrier"]["quarantined"],
                 "digest": run["digest"],
+                "journal_quarantines": run["journal_quarantines"],
+                "journal_digest": run["journal_digest"],
             }
             for policy, run in sorted(farm_runs.items())
         },
@@ -238,6 +258,13 @@ def run_quick(seed: int = QUICK_SEED, iterations: int = QUICK_ITERATIONS,
                 violations.append(
                     f"farm fuzz digest for policy={policy} drifted "
                     f"from {PINNED_NAME}")
+            current_journal = summary["farm"].get(policy, {}) \
+                .get("journal_digest")
+            if cell.get("journal_digest") and current_journal and \
+                    cell["journal_digest"] != current_journal:
+                violations.append(
+                    f"quarantine journal digest for policy={policy} "
+                    f"drifted from {PINNED_NAME}")
         summary["pinned"] = {"path": os.path.basename(path),
                              "match": not any(
                                  "drifted" in v for v in violations)}

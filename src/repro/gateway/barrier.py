@@ -95,6 +95,9 @@ class MaliceBarrier:
         self.sim = sim
         self.name = name
         self.telemetry = telemetry
+        # Decision journal (NULL_JOURNAL unless the farm attached one
+        # before constructing the subfarm).
+        self.journal = sim.journal
         self.policy = policy
         self.quarantine_max_frames = quarantine_max_frames
 
@@ -147,6 +150,7 @@ class MaliceBarrier:
                 raw = frame.to_bytes()
             except Exception:
                 raw = b""
+        frame_index = None
         if raw is not None:
             if len(self.quarantine) >= self.quarantine_max_frames:
                 del self.quarantine[0]
@@ -154,10 +158,24 @@ class MaliceBarrier:
             self.quarantine.append(QuarantineEntry(
                 self.sim.now, bytes(raw), vkey, protocol,
                 getattr(error, "reason", str(error))))
+            # Absolute index of this entry in the quarantine pcap
+            # stream (survives ring rotation) — the journal cross-
+            # references it so the audit trail points at exact bytes.
+            frame_index = self.quarantine_rotated + len(self.quarantine) - 1
+
+        if self.journal.enabled:
+            self.journal.record(
+                "barrier.quarantine", vlan=vkey, subfarm=self.name,
+                protocol=protocol,
+                reason=getattr(error, "reason", str(error)),
+                policy=self.policy, frame_index=frame_index)
 
         if self.policy == "fail-stop" and not self.fail_stopped:
             self.fail_stopped = True
             self.fail_stopped_at = self.sim.now
+            if self.journal.enabled:
+                self.journal.record("barrier.failstop", vlan=vkey,
+                                    subfarm=self.name, protocol=protocol)
         return self.policy
 
     def note_failstop_drop(self) -> None:

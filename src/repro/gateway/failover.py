@@ -174,6 +174,9 @@ class CsFailoverPool:
         if self._states.get(ip, HEALTHY) != state:
             self._states[ip] = state
             self.transitions.append([self.sim.now, str(ip), state])
+            journal = self.sim.journal
+            if journal.enabled:
+                journal.record("cs.state", server=str(ip), state=state)
 
     # ------------------------------------------------------------------
     # Health probes: armed only while a server is unhealthy, so a
@@ -219,6 +222,8 @@ class RouterResilience:
         self.pool = pool
         self.subfarm = subfarm
         self.trigger_engine = trigger_engine
+        # Decision journal (NULL_JOURNAL unless the farm attached one).
+        self.journal = sim.journal
         pool.on_degraded = self._enter_degraded
         pool.on_recovered = self._exit_degraded
 
@@ -256,6 +261,8 @@ class RouterResilience:
     # ------------------------------------------------------------------
     def _enter_degraded(self) -> None:
         self._g_degraded.set(1.0)
+        if self.journal.enabled:
+            self.journal.record("degraded.entered", subfarm=self.subfarm)
         if self.trigger_engine is not None:
             # An outage is not inmate inactivity: absence-of-activity
             # triggers must not mass-revert the subfarm.
@@ -263,6 +270,8 @@ class RouterResilience:
 
     def _exit_degraded(self) -> None:
         self._g_degraded.set(0.0)
+        if self.journal.enabled:
+            self.journal.record("degraded.exited", subfarm=self.subfarm)
         if self.trigger_engine is not None:
             self.trigger_engine.resume()
 
@@ -296,6 +305,12 @@ class RouterResilience:
         if record.decision is not None \
                 or record.phase is not FlowPhase.SHIM:
             return  # verdict arrived, or the flow died some other way
+        if self.journal.enabled:
+            self.journal.record(
+                "failover.deadline",
+                flow=self.router._trace_ids.get(record.mux_port),
+                vlan=record.vlan, attempt=attempt,
+                server=str(record.cs_ip))
         self.pool.report_timeout(record.cs_ip)
         if attempt > self.config.verdict_retries:
             self._h_attempts.observe(float(attempt))
@@ -318,6 +333,11 @@ class RouterResilience:
             return True
         self.retries += 1
         self._m_retries.inc()
+        if self.journal.enabled:
+            self.journal.record(
+                "failover.retry",
+                flow=self.router._trace_ids.get(record.mux_port),
+                vlan=record.vlan, target=str(target))
         router = self.router
         if target != record.cs_ip:
             self.failovers += 1
@@ -339,6 +359,12 @@ class RouterResilience:
 
     def _rehome(self, record: FlowRecord, target: IPv4Address) -> None:
         """Move a pending flow to a standby containment server."""
+        if self.journal.enabled:
+            self.journal.record(
+                "failover.rehome",
+                flow=self.router._trace_ids.get(record.mux_port),
+                vlan=record.vlan, source=str(record.cs_ip),
+                target=str(target))
         record.cs_ip = target
         if record.orig.proto != PROTO_TCP:
             self._resend_udp(record)
@@ -372,6 +398,12 @@ class RouterResilience:
     # ------------------------------------------------------------------
     def _apply_pending(self, record: FlowRecord, annotation: str) -> None:
         decision = self._pending_decision(record, annotation)
+        if self.journal.enabled:
+            self.journal.record(
+                "failover.pending",
+                flow=self.router._trace_ids.get(record.mux_port),
+                vlan=record.vlan, verdict=decision.verdict.label,
+                policy=decision.policy, annotation=annotation)
         if decision.verdict is Verdict.DROP:
             self.fail_closed += 1
             self._m_fail_closed.inc()

@@ -56,6 +56,7 @@ from repro.net.addresses import IPv4Address
 from repro.net.capture import PacketTrace
 from repro.net.errors import ParseError
 from repro.net.flow import FiveTuple
+from repro.obs.journal import ROOT as JOURNAL_ROOT
 from repro.net.packet import (
     ACK,
     EthernetFrame,
@@ -138,6 +139,12 @@ class SubfarmRouter:
         self.barrier = MaliceBarrier(sim, name, telemetry=sim.telemetry)
 
         self.telemetry = sim.telemetry
+        # Decision journal (repro.obs.journal): NULL_JOURNAL unless the
+        # farm attached a live one before building this router.  All
+        # journal call sites are flow-level (never per-packet) and
+        # guarded on .enabled, so a disabled journal costs one
+        # attribute read on the slow path only.
+        self.journal = sim.journal
         self.bridge = LearningBridge(telemetry=self.telemetry, subfarm=name)
         self.trace = PacketTrace(f"{name}-inmate-side")
 
@@ -519,6 +526,11 @@ class SubfarmRouter:
         record = self._index.get(FiveTuple.from_packet(packet))
         if record is None:
             return
+        if self.journal.enabled:
+            self.journal.record(
+                "barrier.isolated",
+                flow=self._trace_ids.get(record.mux_port),
+                vlan=record.vlan)
         self._abort_flow(record, notify_client=False)
         self._evict(record)
         self.barrier.note_isolation()
@@ -591,6 +603,13 @@ class SubfarmRouter:
                     trace_id, "flow.safety", subfarm=self.name,
                     vlan=str(vlan), admitted="false",
                     destination=str(key.resp_ip))
+            if self.journal.enabled:
+                self.journal.record(
+                    "flow.refused",
+                    flow=(f"{self.name}/vlan{vlan}/refused"
+                          f"/t{self.sim.now:.6f}"),
+                    vlan=vlan, parent=JOURNAL_ROOT,
+                    destination=str(key.resp_ip))
             return
 
         mux = self._allocate_mux()
@@ -627,6 +646,24 @@ class SubfarmRouter:
             self._shim_spans[mux] = self.telemetry.span(
                 trace_id, "flow.shim_rtt", subfarm=self.name,
                 vlan=str(vlan), proto=proto)
+
+        if self.journal.enabled:
+            # Same id scheme as flow traces, computed independently so
+            # journaling works with telemetry off.  The five-tuple
+            # alias lets the containment server — which only ever sees
+            # the flow through serialized shim bytes — journal onto the
+            # same causal chain.
+            flow_id = self._trace_ids.get(mux)
+            if flow_id is None:
+                flow_id = (f"{self.name}/vlan{vlan}/mux{mux}"
+                           f"/t{self.sim.now:.6f}")
+                self._trace_ids[mux] = flow_id
+            self.journal.bind_flow(f"vlan{vlan}/{key}", flow_id)
+            self.journal.record(
+                "flow.created", flow=flow_id, vlan=vlan,
+                parent=JOURNAL_ROOT,
+                proto="tcp" if packet.proto == PROTO_TCP else "udp",
+                destination=str(key.resp_ip))
 
         resilience = self.resilience
         if packet.proto == PROTO_TCP:
@@ -783,8 +820,19 @@ class SubfarmRouter:
             handler.owner = record
             self._fastpath[key] = handler
             record.fast_keys.append(key)
+        if record.fast_keys and self.journal.enabled:
+            self.journal.record(
+                "fastpath.install",
+                flow=self._trace_ids.get(record.mux_port),
+                vlan=record.vlan, phase=record.phase.value,
+                handlers=len(record.fast_keys))
 
     def _fastpath_uninstall(self, record: FlowRecord) -> None:
+        if record.fast_keys and self.journal.enabled:
+            self.journal.record(
+                "fastpath.evict",
+                flow=self._trace_ids.get(record.mux_port),
+                vlan=record.vlan, handlers=len(record.fast_keys))
         for key in record.fast_keys:
             handler = self._fastpath.get(key)
             if handler is not None and handler.owner is record:
@@ -1211,6 +1259,13 @@ class SubfarmRouter:
             self._verdict_cells[cell_key] = cell
         cell.inc()
         self._h_shim_rtt.observe(self.sim.now - record.created_at)
+        if self.journal.enabled:
+            self.journal.record(
+                "verdict.applied",
+                flow=self._trace_ids.get(record.mux_port),
+                vlan=record.vlan, verdict=verdict, proto=proto,
+                policy=decision.policy,
+                annotation=decision.annotation or "")
         if not self.telemetry.enabled:
             return
         span = self._shim_spans.pop(record.mux_port, None)
@@ -1686,6 +1741,12 @@ class SubfarmRouter:
     # ------------------------------------------------------------------
     def _evict(self, record: FlowRecord) -> None:
         """Drop a record's demux state so its tuples can be reused."""
+        if self.journal.enabled:
+            flow_id = self._trace_ids.get(record.mux_port)
+            if flow_id is not None:
+                self.journal.record("flow.evicted", flow=flow_id,
+                                    vlan=record.vlan,
+                                    phase=record.phase.value)
         self._fastpath_uninstall(record)
         for key in record.index_keys:
             # Guard on identity: an alias may have been overwritten by a

@@ -12,13 +12,47 @@ Layout:
 * :mod:`repro.obs.trace` — per-flow spans on the simulation clock,
 * :mod:`repro.obs.hub` — ring-buffered structured events,
 * :mod:`repro.obs.telemetry` — the facade (plus the disabled no-op),
-* :mod:`repro.obs.export` — JSON/text snapshot exporters,
-* :mod:`repro.obs.merge` — shard-labeled snapshot relabeling/merging
-  for parallel campaigns (:mod:`repro.parallel`).
+* :mod:`repro.obs.journal` — the flight recorder: bounded causal
+  decision journal plus time-series sample rings,
+* :mod:`repro.obs.provenance` — causal-chain reconstruction over
+  journal snapshots (``why <flow>``),
+* :mod:`repro.obs.export` — JSON/text snapshot exporters plus
+  OpenMetrics, JSONL, and Chrome trace-event renderings,
+* :mod:`repro.obs.merge` — shard-labeled snapshot and journal
+  relabeling/merging for parallel campaigns (:mod:`repro.parallel`).
+
+``python -m repro.obs`` (:mod:`repro.obs.__main__`) is the operator
+CLI: ``snapshot``, ``diff``, ``grep``, and ``why <flow>``.
 """
 
-from repro.obs.export import render_text, snapshot, to_json
-from repro.obs.merge import label_identity, label_snapshot, merge_snapshots
+from repro.obs.export import (
+    render_chrome_trace,
+    render_jsonl,
+    render_openmetrics,
+    render_text,
+    snapshot,
+    to_json,
+)
+from repro.obs.journal import (
+    JOURNAL_SCHEMA,
+    Journal,
+    JournalEvent,
+    NULL_JOURNAL,
+    NullJournal,
+    journal_digest,
+)
+from repro.obs.merge import (
+    label_identity,
+    label_snapshot,
+    merge_journals,
+    merge_snapshots,
+)
+from repro.obs.provenance import (
+    chain_for,
+    deepest_chains,
+    event_counts,
+    render_why,
+)
 from repro.obs.hub import NULL_HUB, TelemetryEvent, TelemetryHub
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -37,15 +71,29 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
     "Histogram",
+    "JOURNAL_SCHEMA",
+    "Journal",
+    "JournalEvent",
     "MetricsRegistry",
     "NULL_HUB",
     "NULL_INSTRUMENT",
+    "NULL_JOURNAL",
     "NULL_TELEMETRY",
     "NULL_TRACER",
+    "NullJournal",
     "NullTelemetry",
+    "chain_for",
+    "deepest_chains",
+    "event_counts",
+    "journal_digest",
     "label_identity",
     "label_snapshot",
+    "merge_journals",
     "merge_snapshots",
+    "render_chrome_trace",
+    "render_jsonl",
+    "render_openmetrics",
+    "render_why",
     "Span",
     "Telemetry",
     "TelemetryEvent",

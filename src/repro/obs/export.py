@@ -135,3 +135,136 @@ def render_text(telemetry, include_traces: bool = False) -> str:
         f"({tracer['evicted']} evicted)"
     )
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Interchange formats: OpenMetrics, JSONL event stream, Chrome trace.
+# All three consume *snapshot dicts* (not live domains), so they work
+# equally on a live farm's capture, a ``--snapshot``/``--journal``
+# file, and a shard-labeled merged snapshot from a parallel campaign.
+# ----------------------------------------------------------------------
+def _split_identity(identity: str):
+    """``name{k=v,...}`` → (name, [(k, v), ...])."""
+    if "{" not in identity:
+        return identity, []
+    name, _, rest = identity.partition("{")
+    pairs = []
+    for part in rest.rstrip("}").split(","):
+        if part:
+            key, _, value = part.partition("=")
+            pairs.append((key, value))
+    return name, pairs
+
+
+def _om_name(name: str) -> str:
+    """OpenMetrics-safe metric name (dots become underscores)."""
+    return "".join(ch if (ch.isalnum() or ch == "_") else "_"
+                   for ch in name)
+
+
+def _om_labels(pairs) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{_om_name(k)}="{v}"' for k, v in pairs)
+    return f"{{{inner}}}"
+
+
+def render_openmetrics(snap: dict) -> str:
+    """A telemetry snapshot as OpenMetrics text (``# TYPE`` headers,
+    sanitized names, terminated by ``# EOF``)."""
+    lines: List[str] = []
+    families: Dict[str, List[str]] = {}
+    kinds: Dict[str, str] = {}
+    for section, kind in (("counters", "counter"), ("gauges", "gauge")):
+        for identity in sorted(snap.get(section) or {}):
+            name, pairs = _split_identity(identity)
+            om = _om_name(name)
+            kinds[om] = kind
+            suffix = "_total" if kind == "counter" else ""
+            families.setdefault(om, []).append(
+                f"{om}{suffix}{_om_labels(pairs)} "
+                f"{snap[section][identity]:g}")
+    for identity in sorted(snap.get("histograms") or {}):
+        entry = snap["histograms"][identity]
+        name, pairs = _split_identity(identity)
+        om = _om_name(name)
+        kinds[om] = "histogram"
+        samples = families.setdefault(om, [])
+        cumulative = 0
+        for bound, count in entry.get("buckets", []):
+            cumulative += count
+            le = "+Inf" if bound == "+inf" else f"{bound:g}"
+            samples.append(
+                f"{om}_bucket{_om_labels(pairs + [('le', le)])} "
+                f"{cumulative:g}")
+        samples.append(f"{om}_count{_om_labels(pairs)} "
+                       f"{entry.get('count', 0):g}")
+        samples.append(f"{om}_sum{_om_labels(pairs)} "
+                       f"{entry.get('sum', 0.0):g}")
+    for om in sorted(families):
+        lines.append(f"# TYPE {om} {kinds[om]}")
+        lines.extend(families[om])
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def render_jsonl(journal_snap: dict) -> str:
+    """A journal snapshot as a JSONL event stream: one sorted-key JSON
+    object per line, header line first, ring samples last."""
+    lines = [json.dumps(
+        {"schema": journal_snap.get("schema"),
+         "time": journal_snap.get("time"),
+         "recorded": journal_snap.get("recorded"),
+         "evicted": journal_snap.get("evicted")}, sort_keys=True)]
+    for event in journal_snap.get("events", []):
+        lines.append(json.dumps(event, sort_keys=True))
+    for name in sorted(journal_snap.get("rings") or {}):
+        ring = journal_snap["rings"][name]
+        lines.append(json.dumps({"ring": name, **ring}, sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def render_chrome_trace(telemetry_snap: dict = None,
+                        journal_snap: dict = None,
+                        indent: int = None) -> str:
+    """Spans plus journal events in Chrome trace-event JSON, viewable
+    in ``about:tracing`` / Perfetto.
+
+    Finished spans become complete ("X") events with microsecond
+    ``ts``/``dur``; journal events become instants ("i") on a track
+    per VLAN.  Virtual seconds map to trace microseconds.
+    """
+    trace_events = []
+    if telemetry_snap:
+        for trace_id in sorted(telemetry_snap.get("traces") or {}):
+            for span in telemetry_snap["traces"][trace_id]:
+                end = span["end"] if span["end"] is not None \
+                    else span["start"]
+                trace_events.append({
+                    "name": span["name"],
+                    "cat": "span",
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": trace_id,
+                    "ts": round(span["start"] * 1e6, 3),
+                    "dur": round((end - span["start"]) * 1e6, 3),
+                    "args": dict(span.get("labels") or {}),
+                })
+    if journal_snap:
+        for event in journal_snap.get("events", []):
+            vlan = event.get("vlan")
+            trace_events.append({
+                "name": event["kind"],
+                "cat": "journal",
+                "ph": "i",
+                "s": "t",
+                "pid": 2,
+                "tid": f"vlan{vlan}" if vlan is not None else "farm",
+                "ts": round(event["t"] * 1e6, 3),
+                "args": {"flow": event.get("flow"),
+                         "seq": event["seq"],
+                         "parent": event.get("parent"),
+                         **(event.get("fields") or {})},
+            })
+    document = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    return json.dumps(document, sort_keys=True, indent=indent)

@@ -1,0 +1,292 @@
+"""The flight recorder: a bounded, append-only decision journal.
+
+Where the metrics registry answers "how many", the journal answers
+"why": every containment-relevant decision — a verdict issued, a
+fast-path handler installed or evicted, a failover, a degraded-mode
+transition, a malice-barrier quarantine, a lifecycle action — lands
+here as one :class:`JournalEvent` stamped with the **virtual clock**
+and a **causal parent reference**, so a flow's full decision chain is
+reconstructable as a tree (:mod:`repro.obs.provenance`).
+
+Determinism contract
+--------------------
+* Events are appended in simulation order and numbered by a journal-
+  wide sequence, so a fixed seed replays to a byte-identical event
+  stream (:meth:`Journal.digest`).
+* Disabled is the default: :data:`NULL_JOURNAL` hangs off every
+  :class:`~repro.sim.engine.Simulator` and turns each ``record()``
+  into a no-op, so instrumented call sites need no conditionals and
+  disabled runs stay byte-identical to a build without the journal.
+* The store is bounded: beyond ``capacity`` the oldest events fall
+  off and ``evicted`` counts them — truncation is never silent.
+
+Causal parenting
+----------------
+Decisions cross component boundaries through *serialized* shim bytes,
+so the containment server and the router cannot thread object
+references to link their events.  Instead the journal auto-parents:
+``record(kind, flow=..., vlan=...)`` defaults ``parent`` to the last
+event recorded for the same flow id (falling back to the same VLAN),
+which is exactly the causal predecessor because all recording happens
+inline on the virtual clock.  Components that only know a flow by its
+five-tuple register an alias (:meth:`Journal.bind_flow`) so both ends
+of the shim protocol resolve to one flow id.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Callable, Dict, List, Optional
+
+Clock = Callable[[], float]
+
+JOURNAL_SCHEMA = "gq.journal/1"
+
+#: Default bounded-ring capacity (events kept before FIFO eviction).
+DEFAULT_CAPACITY = 65536
+
+#: Samples kept per time-series ring before FIFO eviction.
+DEFAULT_RING_CAPACITY = 512
+
+#: Pass as ``parent=`` to force a chain root: the event records with
+#: no parent even when flow/VLAN history exists (e.g. ``flow.created``
+#: starts a fresh chain rather than chaining to the previous flow on
+#: the same VLAN).
+ROOT = object()
+
+
+class JournalEvent:
+    """One recorded decision."""
+
+    __slots__ = ("seq", "time", "kind", "flow", "vlan", "parent", "fields")
+
+    def __init__(self, seq: int, time: float, kind: str,
+                 flow: Optional[str], vlan: Optional[int],
+                 parent: Optional[int], fields: dict) -> None:
+        self.seq = seq
+        self.time = time
+        self.kind = kind
+        self.flow = flow
+        self.vlan = vlan
+        self.parent = parent
+        self.fields = fields
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "t": round(self.time, 9),
+            "kind": self.kind,
+            "flow": self.flow,
+            "vlan": self.vlan,
+            "parent": self.parent,
+            "fields": self.fields,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<JournalEvent #{self.seq} t={self.time:.6f} "
+                f"{self.kind} flow={self.flow}>")
+
+
+class SampleRing:
+    """Fixed-capacity ring of ``(virtual time, value)`` samples for one
+    gauge/counter series."""
+
+    __slots__ = ("name", "capacity", "samples", "dropped")
+
+    def __init__(self, name: str, capacity: int = DEFAULT_RING_CAPACITY
+                 ) -> None:
+        self.name = name
+        self.capacity = capacity
+        self.samples: List[List[float]] = []
+        self.dropped = 0
+
+    def sample(self, time: float, value: float) -> None:
+        if len(self.samples) >= self.capacity:
+            del self.samples[0]
+            self.dropped += 1
+        self.samples.append([round(time, 9), value])
+
+    def to_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "samples": [list(pair) for pair in self.samples],
+        }
+
+
+class Journal:
+    """The live flight recorder (see module docstring)."""
+
+    enabled = True
+
+    def __init__(self, clock: Clock, capacity: int = DEFAULT_CAPACITY,
+                 ring_capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        self.clock = clock
+        self.capacity = max(1, int(capacity))
+        self.ring_capacity = ring_capacity
+        self._events: List[JournalEvent] = []
+        self._seq = 0
+        self.recorded = 0
+        self.evicted = 0
+        self._rings: Dict[str, SampleRing] = {}
+        # Causal bookkeeping: last event seq per flow id / per VLAN,
+        # plus five-tuple → flow-id aliases.  All bounded FIFO at the
+        # journal's own capacity so week-scale runs cannot grow them
+        # without bound (dicts preserve insertion order).
+        self._last_for_flow: Dict[str, int] = {}
+        self._last_for_vlan: Dict[int, int] = {}
+        self._aliases: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, kind: str, flow: Optional[str] = None,
+               vlan: Optional[int] = None, parent: Optional[int] = None,
+               **fields) -> JournalEvent:
+        """Append one event; auto-parent from the flow/VLAN history."""
+        if parent is ROOT:
+            parent = None
+        elif parent is None:
+            if flow is not None:
+                parent = self._last_for_flow.get(flow)
+            if parent is None and vlan is not None:
+                parent = self._last_for_vlan.get(vlan)
+        event = JournalEvent(self._seq, self.clock(), kind, flow, vlan,
+                             parent, fields)
+        self._seq += 1
+        self.recorded += 1
+        if len(self._events) >= self.capacity:
+            del self._events[0]
+            self.evicted += 1
+        self._events.append(event)
+        if flow is not None:
+            self._remember(self._last_for_flow, flow, event.seq)
+        if vlan is not None:
+            self._remember(self._last_for_vlan, vlan, event.seq)
+        return event
+
+    def _remember(self, table: dict, key, seq: int) -> None:
+        if key not in table and len(table) >= self.capacity:
+            del table[next(iter(table))]
+        table[key] = seq
+
+    # ------------------------------------------------------------------
+    # Flow aliases — five-tuple keys to flow ids, linking the two ends
+    # of the shim protocol.
+    # ------------------------------------------------------------------
+    def bind_flow(self, alias: str, flow_id: str) -> None:
+        self._remember(self._aliases, alias, flow_id)
+
+    def flow_for(self, alias: str) -> Optional[str]:
+        return self._aliases.get(alias)
+
+    # ------------------------------------------------------------------
+    # Time-series rings
+    # ------------------------------------------------------------------
+    def ring(self, name: str) -> SampleRing:
+        ring = self._rings.get(name)
+        if ring is None:
+            ring = self._rings[name] = SampleRing(name, self.ring_capacity)
+        return ring
+
+    def sample(self, name: str, value: float) -> None:
+        self.ring(name).sample(self.clock(), float(value))
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def events(self) -> List[JournalEvent]:
+        return list(self._events)
+
+    def snapshot(self) -> dict:
+        """JSON-safe view of the whole journal (schema
+        ``gq.journal/1``) — the unit the merge and the exporters
+        consume."""
+        return {
+            "schema": JOURNAL_SCHEMA,
+            "enabled": True,
+            "time": round(self.clock(), 9),
+            "recorded": self.recorded,
+            "evicted": self.evicted,
+            "events": [event.to_dict() for event in self._events],
+            "rings": {name: self._rings[name].to_dict()
+                      for name in sorted(self._rings)},
+        }
+
+    def digest(self) -> str:
+        return journal_digest(self.snapshot())
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return (f"<Journal events={len(self._events)} "
+                f"recorded={self.recorded} evicted={self.evicted}>")
+
+
+class NullJournal:
+    """Do-nothing journal; the default on every simulator."""
+
+    __slots__ = ()
+    enabled = False
+    recorded = 0
+    evicted = 0
+
+    def record(self, kind: str, flow: Optional[str] = None,
+               vlan: Optional[int] = None, parent: Optional[int] = None,
+               **fields) -> None:
+        return None
+
+    def bind_flow(self, alias: str, flow_id: str) -> None:
+        pass
+
+    def flow_for(self, alias: str) -> Optional[str]:
+        return None
+
+    def sample(self, name: str, value: float) -> None:
+        pass
+
+    def events(self) -> List[JournalEvent]:
+        return []
+
+    def snapshot(self) -> dict:
+        return {
+            "schema": JOURNAL_SCHEMA,
+            "enabled": False,
+            "time": 0.0,
+            "recorded": 0,
+            "evicted": 0,
+            "events": [],
+            "rings": {},
+        }
+
+    def digest(self) -> str:
+        return journal_digest(self.snapshot())
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_JOURNAL = NullJournal()
+
+
+def journal_digest(snapshot: dict) -> str:
+    """sha256 over the canonical JSON of a journal snapshot — the
+    event-stream identity the parity checks compare."""
+    blob = json.dumps(snapshot, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "DEFAULT_RING_CAPACITY",
+    "JOURNAL_SCHEMA",
+    "Journal",
+    "JournalEvent",
+    "NULL_JOURNAL",
+    "NullJournal",
+    "ROOT",
+    "SampleRing",
+    "journal_digest",
+]

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["label_identity", "label_snapshot", "merge_snapshots"]
+__all__ = ["label_identity", "label_snapshot", "merge_journals",
+           "merge_snapshots"]
 
 _METRIC_SECTIONS = ("counters", "gauges", "histograms")
 
@@ -127,4 +128,82 @@ def merge_snapshots(snaps: List[dict],
     # regardless of shard arrival order.
     for section in _METRIC_SECTIONS + ("traces",):
         merged[section] = dict(sorted(merged[section].items()))
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Journal merge (repro.obs.journal snapshots)
+# ----------------------------------------------------------------------
+def _label_journal(snap: dict, prefix: str) -> List[dict]:
+    """Shard-label one journal snapshot's events: seq/parent become
+    ``"<prefix>/<seq>"`` strings and flow ids gain the same prefix, so
+    causal chains stay intact and cannot collide across shards."""
+    events = []
+    for event in snap.get("events", []):
+        relabeled = dict(event)
+        relabeled["seq"] = f"{prefix}/{event['seq']}"
+        if event.get("parent") is not None:
+            relabeled["parent"] = f"{prefix}/{event['parent']}"
+        if event.get("flow") is not None:
+            relabeled["flow"] = f"{prefix}/{event['flow']}"
+        relabeled["shard"] = prefix
+        events.append(relabeled)
+    return events
+
+
+def merge_journals(snaps: List[dict],
+                   labels: Optional[List[Dict[str, str]]] = None) -> dict:
+    """Merge per-shard journal snapshots into one causally-consistent
+    campaign journal.
+
+    ``labels[i]`` stamps shard *i*; duplicate shard label sets would
+    silently interleave two shards' causal chains, so they **raise**.
+    Events sort by ``(time, shard, per-shard seq)`` — a pure function
+    of the shard snapshots, so a serial and a parallel run of the same
+    campaign merge to byte-identical journals (digest parity).
+    """
+    if labels is not None and len(labels) != len(snaps):
+        raise ValueError("need exactly one label set per journal")
+    merged: dict = {
+        "schema": None,
+        "enabled": False,
+        "time": 0.0,
+        "recorded": 0,
+        "evicted": 0,
+        "events": [],
+        "rings": {},
+    }
+    keyed = []
+    seen_prefixes = set()
+    for position, snap in enumerate(snaps):
+        if merged["schema"] is None:
+            merged["schema"] = snap.get("schema")
+        elif snap.get("schema") != merged["schema"]:
+            raise ValueError(
+                f"journal schema mismatch: {snap.get('schema')!r} "
+                f"!= {merged['schema']!r}")
+        label_set = labels[position] if labels is not None \
+            else {"shard": str(position)}
+        prefix = _label_prefix({k: str(v) for k, v in label_set.items()})
+        if prefix in seen_prefixes:
+            raise ValueError(
+                f"duplicate shard labels while merging journals: "
+                f"{prefix!r} (labels must be unique per shard)")
+        seen_prefixes.add(prefix)
+        merged["enabled"] = merged["enabled"] or bool(snap.get("enabled"))
+        merged["time"] = max(merged["time"], snap.get("time", 0.0))
+        merged["recorded"] += snap.get("recorded", 0)
+        merged["evicted"] += snap.get("evicted", 0)
+        for event, original in zip(_label_journal(snap, prefix),
+                                   snap.get("events", [])):
+            keyed.append(((event["t"], prefix, original["seq"]), event))
+        for name in snap.get("rings") or {}:
+            identity = f"{prefix}/{name}"
+            if identity in merged["rings"]:
+                raise ValueError(
+                    f"ring collision while merging journals: {identity!r}")
+            merged["rings"][identity] = snap["rings"][name]
+    keyed.sort(key=lambda pair: pair[0])
+    merged["events"] = [event for _, event in keyed]
+    merged["rings"] = dict(sorted(merged["rings"].items()))
     return merged

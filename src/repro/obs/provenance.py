@@ -1,0 +1,179 @@
+"""Causal reconstruction over journal snapshots.
+
+Every helper here operates on the JSON-safe event dicts inside a
+journal snapshot (``snapshot["events"]``), not on live
+:class:`~repro.obs.journal.JournalEvent` objects — so the same code
+reads a live farm's journal, a file dumped by ``--journal PATH``, and
+a shard-labeled merged journal from a parallel campaign.
+
+The causal model: each event carries a ``parent`` reference (an event
+seq; shard-prefixed strings after a merge).  Walking parents from any
+event yields its decision chain — e.g. for a flow that a trigger
+eventually recycled::
+
+    flow.created -> verdict.issued -> verdict.applied
+                 -> fastpath.install -> trigger.fired -> lifecycle
+
+A parent that fell off the bounded ring renders as a root; truncation
+shows up as a shorter chain, never as a wrong one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "build_index",
+    "chain_for",
+    "deepest_chains",
+    "event_counts",
+    "flows_in",
+    "render_chain",
+    "render_why",
+    "resolve_flow",
+]
+
+
+def build_index(events: List[dict]) -> Dict[object, dict]:
+    """Map event id (``seq``) to event dict."""
+    return {event["seq"]: event for event in events}
+
+
+def event_counts(events: List[dict]) -> Dict[str, int]:
+    """Events per kind, name-sorted."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        counts[event["kind"]] = counts.get(event["kind"], 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def flows_in(events: List[dict]) -> List[str]:
+    """Distinct flow ids, in first-appearance order."""
+    seen: Dict[str, None] = {}
+    for event in events:
+        flow = event.get("flow")
+        if flow is not None and flow not in seen:
+            seen[flow] = None
+    return list(seen)
+
+
+def resolve_flow(events: List[dict], token: str) -> str:
+    """Resolve ``token`` to a flow id: exact match wins, otherwise a
+    unique substring match; ambiguity and absence raise ValueError."""
+    flows = flows_in(events)
+    if token in flows:
+        return token
+    matches = [flow for flow in flows if token in flow]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise ValueError(f"no journaled flow matches {token!r} "
+                         f"({len(flows)} flows recorded)")
+    preview = ", ".join(matches[:4])
+    raise ValueError(f"{token!r} is ambiguous: {len(matches)} flows "
+                     f"match ({preview}...)")
+
+
+def _ancestors(event: dict, index: Dict[object, dict]) -> List[dict]:
+    """Parent walk from ``event`` (exclusive) to its root, cycle-safe."""
+    out: List[dict] = []
+    seen = {event["seq"]}
+    parent = event.get("parent")
+    while parent is not None and parent in index and parent not in seen:
+        seen.add(parent)
+        ancestor = index[parent]
+        out.append(ancestor)
+        parent = ancestor.get("parent")
+    return out
+
+
+def chain_for(events: List[dict], flow_id: str) -> List[dict]:
+    """Every event of ``flow_id`` plus the transitive parents that led
+    to them (e.g. the trigger firing on the flow's VLAN), in recording
+    order."""
+    index = build_index(events)
+    order = {event["seq"]: position
+             for position, event in enumerate(events)}
+    selected: Dict[object, dict] = {}
+    for event in events:
+        if event.get("flow") != flow_id:
+            continue
+        selected[event["seq"]] = event
+        for ancestor in _ancestors(event, index):
+            selected[ancestor["seq"]] = ancestor
+    return sorted(selected.values(),
+                  key=lambda event: order[event["seq"]])
+
+
+def _depth_map(events: List[dict]) -> Dict[object, int]:
+    """Chain length (1 = root) per event, iterative with memoization."""
+    index = build_index(events)
+    depth: Dict[object, int] = {}
+    for event in events:
+        stack = []
+        cursor: Optional[dict] = event
+        guard = set()
+        while (cursor is not None and cursor["seq"] not in depth
+               and cursor["seq"] not in guard):
+            guard.add(cursor["seq"])
+            stack.append(cursor)
+            parent = cursor.get("parent")
+            cursor = index.get(parent) if parent is not None else None
+        base = depth.get(cursor["seq"], 0) if cursor is not None else 0
+        while stack:
+            node = stack.pop()
+            base += 1
+            depth[node["seq"]] = base
+    return depth
+
+
+def deepest_chains(events: List[dict], n: int = 5
+                   ) -> List[Tuple[int, List[dict]]]:
+    """The ``n`` deepest causal chains as ``(depth, root..leaf)``
+    tuples, deepest first; each chain is reported once (by its leaf,
+    keeping only maximal chains)."""
+    index = build_index(events)
+    depth = _depth_map(events)
+    order = {event["seq"]: position
+             for position, event in enumerate(events)}
+    parents = {event.get("parent") for event in events}
+    leaves = [event for event in events if event["seq"] not in parents]
+    leaves.sort(key=lambda event: (-depth[event["seq"]],
+                                   order[event["seq"]]))
+    out: List[Tuple[int, List[dict]]] = []
+    for leaf in leaves[:n]:
+        chain = list(reversed(_ancestors(leaf, index))) + [leaf]
+        out.append((depth[leaf["seq"]], chain))
+    return out
+
+
+def _format_fields(fields: dict) -> str:
+    return " ".join(f"{key}={fields[key]}" for key in sorted(fields))
+
+
+def render_chain(chain: List[dict], indent: str = "  ") -> str:
+    """One chain, one line per event, indented by causal depth."""
+    depth_by_seq: Dict[object, int] = {}
+    lines = []
+    for event in chain:
+        parent = event.get("parent")
+        level = depth_by_seq.get(parent, -1) + 1
+        depth_by_seq[event["seq"]] = level
+        extra = _format_fields(event.get("fields", {}))
+        vlan = event.get("vlan")
+        vlan_text = f" vlan={vlan}" if vlan is not None else ""
+        lines.append(f"{indent * level}t={event['t']:<12.6f} "
+                     f"{event['kind']}{vlan_text}"
+                     f"{'  ' + extra if extra else ''}")
+    return "\n".join(lines)
+
+
+def render_why(events: List[dict], token: str) -> str:
+    """The ``python -m repro.obs why <flow>`` payload: the flow's full
+    decision chain as an indented tree."""
+    flow_id = resolve_flow(events, token)
+    chain = chain_for(events, flow_id)
+    header = f"why {flow_id}"
+    body = render_chain(chain)
+    return f"{header}\n{'-' * len(header)}\n{body}\n" \
+           f"({len(chain)} events)"

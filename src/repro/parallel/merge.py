@@ -24,6 +24,11 @@ Shard payload conventions (all optional):
 ``telemetry``
     a :func:`repro.obs.export.snapshot` dict; merged shard-labeled
     into ``merged["telemetry"]``.
+``journal``
+    a :meth:`repro.obs.journal.Journal.snapshot` dict; merged
+    shard-labeled (:func:`repro.obs.merge.merge_journals`) into
+    ``merged["journal"]``, with the merged journal's digest in
+    ``merged["journal_digest"]``.
 """
 
 from __future__ import annotations
@@ -120,6 +125,8 @@ def merge_results(campaign, shard_results, workers: int,
     metrics: Dict[str, float] = {}
     snapshots = []
     snapshot_labels = []
+    journals = []
+    journal_labels = []
     for result in sorted(shard_results, key=lambda r: r.index):
         if not result.ok:
             merged["shards_failed"] += 1
@@ -133,12 +140,23 @@ def merge_results(campaign, shard_results, workers: int,
         if isinstance(telemetry, dict):
             snapshots.append(telemetry)
             snapshot_labels.append({"shard": str(result.index)})
+        journal = payload.get("journal")
+        if isinstance(journal, dict):
+            journals.append(journal)
+            journal_labels.append({"shard": str(result.index)})
     merged["metrics"] = dict(sorted(metrics.items()))
     if snapshots:
         from repro.obs.merge import merge_snapshots
 
         merged["telemetry"] = merge_snapshots(snapshots,
                                               labels=snapshot_labels)
+    if journals:
+        from repro.obs.journal import journal_digest
+        from repro.obs.merge import merge_journals
+
+        merged["journal"] = merge_journals(journals,
+                                           labels=journal_labels)
+        merged["journal_digest"] = journal_digest(merged["journal"])
     return CampaignResult(campaign.name, campaign.spec_digest(),
                           list(shard_results), workers, wall_seconds,
                           merged)

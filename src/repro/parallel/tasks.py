@@ -84,11 +84,12 @@ def _echo_server(host) -> None:
 
 def streaming_farm_shard(seed: int, subfarms: int = 2, inmates: int = 2,
                          rounds: int = 60, duration: float = 120.0,
-                         telemetry: bool = True,
+                         telemetry: bool = True, journal: bool = False,
                          detonation_wait: float = 0.0) -> dict:
     """One complete farm run: N subfarms of streaming inmates against
     an external echo server, digested deterministically."""
-    farm = Farm(FarmConfig(seed=seed, telemetry=telemetry))
+    farm = Farm(FarmConfig(seed=seed, telemetry=telemetry,
+                           journal=journal))
     _echo_server(farm.add_external_host("echo", TARGET_IP))
     subs = []
     for index in range(subfarms):
@@ -121,7 +122,7 @@ def streaming_farm_shard(seed: int, subfarms: int = 2, inmates: int = 2,
     if detonation_wait > 0:
         time.sleep(detonation_wait)
 
-    return {
+    result = {
         "seed": seed,
         "virtual_seconds": farm.sim.now,
         "metrics": {
@@ -133,6 +134,15 @@ def streaming_farm_shard(seed: int, subfarms: int = 2, inmates: int = 2,
         "telemetry": snapshot,
         "digest": digest.hexdigest(),
     }
+    if journal:
+        # The journal rides alongside the determinism digest, never
+        # inside it: journal=True must not change "digest".
+        from repro.obs.journal import journal_digest
+
+        journal_snap = farm.journal_snapshot()
+        result["journal"] = journal_snap
+        result["journal_digest"] = journal_digest(journal_snap)
+    return result
 
 
 # ----------------------------------------------------------------------

@@ -70,6 +70,15 @@ class ActivityReport:
         # subfarm name -> malice-barrier summary (only for subfarms
         # whose barrier rejected at least one input).
         self.malformed: Dict[str, dict] = {}
+        # Decision-journal snapshot (repro.obs.journal) backing the
+        # "Decision audit" section; attached explicitly because the
+        # journal is farm-wide, not per-subfarm.
+        self.journal: Optional[dict] = None
+
+    def attach_journal(self, snapshot: dict) -> None:
+        """Attach a journal snapshot (live, dumped, or campaign-merged)
+        so rendering includes the decision-audit section."""
+        self.journal = snapshot
 
     @classmethod
     def from_subfarms(cls, subfarms, blocklist=None,
@@ -179,11 +188,60 @@ class ReportScheduler:
             self.on_report(self.sim.now, report, rendered)
 
 
-def render_report(report: ActivityReport, telemetry=None) -> str:
+def _render_decision_audit(lines: List[str], snapshot: dict) -> None:
+    """The journal-backed audit: event counts, the deepest causal
+    chains, and quarantines cross-referenced to pcap frame indices."""
+    from repro.obs.provenance import (
+        deepest_chains,
+        event_counts,
+        render_chain,
+    )
+
+    events = snapshot.get("events", [])
+    header = "Decision audit"
+    lines.append(header)
+    lines.append("=" * len(header))
+    lines.append("")
+    lines.append(f"Journal: {snapshot.get('recorded', 0)} events "
+                 f"recorded, {snapshot.get('evicted', 0)} evicted "
+                 f"(schema {snapshot.get('schema')})")
+    lines.append("")
+    lines.append("Events by kind")
+    for kind, count in event_counts(events).items():
+        lines.append(f"  {kind:<24} {count:>8}")
+    lines.append("")
+    chains = deepest_chains(events, n=5)
+    if chains:
+        lines.append("Deepest causal chains")
+        for depth, chain in chains:
+            lines.append(f"- depth {depth}")
+            for line in render_chain(chain).splitlines():
+                lines.append(f"  {line}")
+        lines.append("")
+    quarantines = [event for event in events
+                   if event.get("kind") == "barrier.quarantine"]
+    if quarantines:
+        lines.append("Quarantined inputs (pcap frame cross-reference)")
+        for event in quarantines:
+            fields = event.get("fields", {})
+            frame = fields.get("frame_index")
+            frame_text = f"frame #{frame}" if frame is not None \
+                else "not quarantined (no bytes)"
+            lines.append(
+                f"  t={event['t']:<12.6f} vlan={event.get('vlan')} "
+                f"{fields.get('protocol', '?'):<10} {frame_text}  "
+                f"{fields.get('reason', '')}")
+        lines.append("")
+
+
+def render_report(report: ActivityReport, telemetry=None,
+                  journal=None) -> str:
     """Render in the Figure 7 textual layout.
 
     With a live ``telemetry`` domain, a farm-wide metrics appendix
     (see repro.obs.export.render_text) follows the per-inmate blocks.
+    ``journal`` (a journal snapshot dict; defaults to the report's
+    attached one) adds the decision-audit section.
     """
     lines: List[str] = []
     lines.append(report.title)
@@ -260,6 +318,9 @@ def render_report(report: ActivityReport, telemetry=None) -> str:
                 lines.append(
                     f"  {key:<24} {summary['by_vlan_protocol'][key]:>6}")
             lines.append("")
+    journal_snapshot = journal if journal is not None else report.journal
+    if journal_snapshot is not None and journal_snapshot.get("events"):
+        _render_decision_audit(lines, journal_snapshot)
     if telemetry is not None and telemetry.enabled:
         from repro.obs.export import render_text
 

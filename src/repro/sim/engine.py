@@ -19,6 +19,7 @@ import random
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs.journal import NULL_JOURNAL
 from repro.obs.metrics import NULL_INSTRUMENT
 from repro.obs.telemetry import NULL_TELEMETRY
 
@@ -115,8 +116,12 @@ class Simulator:
 
         # Telemetry (disabled by default): the no-op instruments keep
         # the hot loop branch-free; attach_telemetry() swaps them for
-        # live ones.
+        # live ones.  The decision journal (repro.obs.journal) follows
+        # the same pattern and is independent of telemetry: components
+        # capture sim.journal at construction, so it must be attached
+        # before they are built.
         self.telemetry = NULL_TELEMETRY
+        self.journal = NULL_JOURNAL
         self.profile_callbacks = False
         self._m_scheduled = NULL_INSTRUMENT
         self._m_fired = NULL_INSTRUMENT
@@ -150,6 +155,12 @@ class Simulator:
             "sim.callback.wall_time",
             "Wall-clock seconds per callback, by event label",
             deterministic=False)
+
+    def attach_journal(self, journal) -> None:
+        """Wire a live :class:`~repro.obs.journal.Journal`.  Must run
+        before journaling components are constructed — they capture
+        ``sim.journal`` at init time."""
+        self.journal = journal
 
     # ------------------------------------------------------------------
     # Clock

@@ -1,0 +1,189 @@
+"""Merge edge cases for sharded telemetry and journal snapshots.
+
+The happy path (N shards, disjoint labels) is covered by the campaign
+tests; these pin the edges the merge must not mishandle: disjoint
+metric keys merged without labels, empty tracers, duplicate shard
+labels (a caller bug — must raise, not silently interleave causal
+chains), and journal merge determinism including serial-vs-parallel
+digest parity over a real campaign.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.journal import JOURNAL_SCHEMA, Journal, journal_digest
+from repro.obs.merge import merge_journals, merge_snapshots
+
+pytestmark = pytest.mark.obs
+
+
+def metric_snapshot(counters=None, traces=None, time=0.0):
+    return {
+        "schema": "gq.telemetry/1",
+        "enabled": True,
+        "time": time,
+        "counters": dict(counters or {}),
+        "gauges": {},
+        "histograms": {},
+        "traces": dict(traces or {}),
+        "hub": {"published": 0, "retained": 0, "evicted": 0},
+        "tracer": {"spans": 0, "traces": 0, "evicted": 0},
+    }
+
+
+def journal_snapshot(events, time=0.0, rings=None):
+    return {
+        "schema": JOURNAL_SCHEMA,
+        "enabled": True,
+        "time": time,
+        "recorded": len(events),
+        "evicted": 0,
+        "events": events,
+        "rings": dict(rings or {}),
+    }
+
+
+def event(seq, t, kind, flow=None, vlan=None, parent=None, **fields):
+    return {"seq": seq, "t": t, "kind": kind, "flow": flow,
+            "vlan": vlan, "parent": parent, "fields": fields}
+
+
+class TestSnapshotMergeEdges:
+    def test_disjoint_metric_keys_merge_without_labels(self):
+        a = metric_snapshot(counters={"flows{subfarm=a}": 3})
+        b = metric_snapshot(counters={"flows{subfarm=b}": 5})
+        merged = merge_snapshots([a, b])
+        assert merged["counters"] == {"flows{subfarm=a}": 3,
+                                      "flows{subfarm=b}": 5}
+
+    def test_colliding_keys_without_labels_raise(self):
+        a = metric_snapshot(counters={"flows": 3})
+        b = metric_snapshot(counters={"flows": 5})
+        with pytest.raises(ValueError, match="collision"):
+            merge_snapshots([a, b])
+
+    def test_empty_tracers_merge_clean(self):
+        a = metric_snapshot(traces={})
+        b = metric_snapshot(traces={})
+        merged = merge_snapshots(
+            [a, b], labels=[{"shard": "0"}, {"shard": "1"}])
+        assert merged["traces"] == {}
+        assert merged["tracer"] == {"spans": 0, "traces": 0, "evicted": 0}
+
+    def test_duplicate_shard_labels_collide(self):
+        a = metric_snapshot(counters={"flows": 3})
+        b = metric_snapshot(counters={"flows": 5})
+        with pytest.raises(ValueError, match="collision"):
+            merge_snapshots(
+                [a, b], labels=[{"shard": "0"}, {"shard": "0"}])
+
+
+class TestJournalMergeEdges:
+    def test_duplicate_shard_labels_raise(self):
+        a = journal_snapshot([event(0, 1.0, "flow.created")])
+        b = journal_snapshot([event(0, 2.0, "flow.created")])
+        with pytest.raises(ValueError, match="duplicate shard labels"):
+            merge_journals([a, b],
+                           labels=[{"shard": "0"}, {"shard": "0"}])
+
+    def test_empty_journals_merge_clean(self):
+        merged = merge_journals(
+            [journal_snapshot([]), journal_snapshot([])],
+            labels=[{"shard": "0"}, {"shard": "1"}])
+        assert merged["events"] == []
+        assert merged["recorded"] == 0
+
+    def test_causal_chains_stay_shard_local(self):
+        a = journal_snapshot([
+            event(0, 1.0, "flow.created", flow="f"),
+            event(1, 2.0, "verdict.issued", flow="f", parent=0),
+        ])
+        b = journal_snapshot([
+            event(0, 1.5, "flow.created", flow="f"),
+        ])
+        merged = merge_journals(
+            [a, b], labels=[{"shard": "0"}, {"shard": "1"}])
+        by_seq = {e["seq"]: e for e in merged["events"]}
+        # Same per-shard seq and flow id, yet no cross-shard aliasing.
+        assert by_seq["shard=0/1"]["parent"] == "shard=0/0"
+        assert by_seq["shard=0/0"]["flow"] == "shard=0/f"
+        assert by_seq["shard=1/0"]["flow"] == "shard=1/f"
+
+    def test_merge_order_independent(self):
+        a = journal_snapshot([event(0, 1.0, "flow.created", vlan=1)])
+        b = journal_snapshot([event(0, 0.5, "flow.created", vlan=2)])
+        forward = merge_journals(
+            [a, b], labels=[{"shard": "0"}, {"shard": "1"}])
+        backward = merge_journals(
+            [b, a], labels=[{"shard": "1"}, {"shard": "0"}])
+        assert json.dumps(forward, sort_keys=True) == \
+            json.dumps(backward, sort_keys=True)
+        # Sorted by (t, shard, seq): shard 1's earlier event leads.
+        assert [e["seq"] for e in forward["events"]] == \
+            ["shard=1/0", "shard=0/0"]
+
+    def test_ring_collision_raises(self):
+        ring = {"capacity": 4, "dropped": 0, "samples": [[1.0, 2.0]]}
+        a = journal_snapshot([], rings={"gw.flows": ring})
+        b = journal_snapshot([], rings={"gw.flows": ring})
+        with pytest.raises(ValueError, match="duplicate shard labels"):
+            merge_journals([a, b],
+                           labels=[{"shard": "3"}, {"shard": "3"}])
+        merged = merge_journals(
+            [a, b], labels=[{"shard": "0"}, {"shard": "1"}])
+        assert sorted(merged["rings"]) == \
+            ["shard=0/gw.flows", "shard=1/gw.flows"]
+
+    def test_schema_mismatch_raises(self):
+        a = journal_snapshot([])
+        b = dict(journal_snapshot([]), schema="gq.journal/999")
+        with pytest.raises(ValueError, match="schema mismatch"):
+            merge_journals([a, b],
+                           labels=[{"shard": "0"}, {"shard": "1"}])
+
+    def test_live_journal_snapshots_round_trip_through_merge(self):
+        clock = [0.0]
+        journals = []
+        for shard in range(2):
+            journal = Journal(clock=lambda: clock[0])
+            clock[0] = 1.0 + shard
+            root = journal.record("flow.created", flow="tcp/1",
+                                  vlan=1)
+            journal.record("verdict.issued", flow="tcp/1", vlan=1,
+                           verdict="allow")
+            assert root.parent is None
+            journals.append(journal.snapshot())
+        merged = merge_journals(
+            journals, labels=[{"shard": "0"}, {"shard": "1"}])
+        assert merged["recorded"] == 4
+        assert journal_digest(merged) == journal_digest(merged)
+
+
+class TestSerialParallelParity:
+    """Journal digest parity: the same campaign merged from a serial
+    run and from a 2-worker parallel run must be byte-identical."""
+
+    @pytest.mark.slow
+    def test_campaign_journal_digest_parity(self):
+        from repro.parallel import Campaign, run_campaign
+
+        def summary(workers):
+            campaign = Campaign.seed_sweep(
+                "journal-parity",
+                "repro.parallel.tasks:streaming_farm_shard",
+                params={"subfarms": 1, "inmates": 1, "rounds": 4,
+                        "duration": 40.0, "journal": True},
+                seeds=[1, 2])
+            return run_campaign(campaign, workers=workers).to_dict()
+
+        serial = summary(workers=1)
+        parallel = summary(workers=2)
+        assert serial["merged"]["journal_digest"] == \
+            parallel["merged"]["journal_digest"]
+        assert json.dumps(serial["merged"]["journal"], sort_keys=True) \
+            == json.dumps(parallel["merged"]["journal"], sort_keys=True)
+        assert serial["merged"]["journal"]["events"], \
+            "parity over an empty journal proves nothing"
