@@ -40,9 +40,11 @@ from repro.core.server import CS_DEFAULT_PORT
 from repro.core.shim import ResponseShim
 from repro.core.verdicts import Verdict
 from repro.farm import Farm, FarmConfig
+from repro.gateway.flowtable import EMIT_UPSTREAM, EMIT_VLAN
 from repro.gateway.nat import AddressPool, InboundMode, NatTable
 from repro.gateway.router import SubfarmRouter
 from repro.gateway.safety import SafetyFilter
+from repro.net.wirebatch import BatchOutput, ORIGIN_UPSTREAM, WireBatch
 from repro.net.addresses import IPv4Address, IPv4Network, MacAddress
 from repro.net.packet import (
     ACK,
@@ -241,6 +243,133 @@ def bench_forwarding(fastpath: bool, packets: int, seed: int = 7,
     }
 
 
+def _build_pump_batches(record, chunk: int, payload: bytes):
+    """The forwarding pump's two directions as prebuilt WireBatches:
+    ``chunk`` client→destination rows and ``chunk`` destination→client
+    rows, each a single same-key run (the shape the gateway's trunk
+    coalescing produces for a streaming flow)."""
+    inmate_ip = record.orig.orig_ip
+    nat_global = record.nat_global or inmate_ip
+    target = IPv4Address(TARGET_IP).value
+    size = len(payload)
+    c2d = WireBatch()
+    for index in range(chunk):
+        c2d.append_tcp(inmate_ip.value, 40000, target, TARGET_PORT,
+                       2000 + index * size, 9001, ACK | PSH, 65535,
+                       payload, vlan=2)
+    d2c = WireBatch()
+    for index in range(chunk):
+        d2c.append_tcp(target, TARGET_PORT, nat_global.value, 40000,
+                       9500 + index * size, 2001, ACK | PSH, 65535,
+                       payload, origin=ORIGIN_UPSTREAM)
+    return c2d, d2c
+
+
+def bench_batch(packets: int, seed: int = 7, chunk: int = 256,
+                repeats: int = 3) -> dict:
+    """Packets/sec through the batched struct-of-arrays datapath.
+
+    Same established flow and packet mix as :func:`bench_forwarding`,
+    but rows arrive as prebuilt :class:`WireBatch` chunks and run
+    through ``ingest_batch`` — measured once table-apply only
+    (``ingest``, comparable to the scalar pump, which also never
+    serializes) and once including the per-run wire serialization pass
+    (``wire``).
+    """
+    harness = RouterHarness(seed=seed, fastpath=True)
+    record = harness.establish_flow(vlan=2, sport=40000)
+    assert record.phase.value == "enforced", record.phase
+    payload = b"x" * 512
+    c2d, d2c = _build_pump_batches(record, chunk, payload)
+    router = harness.router
+    iters = max(1, packets // (2 * chunk))
+    total = 2 * chunk * iters
+    best_ingest = best_wire = float("inf")
+    for _ in range(repeats):
+        harness.drain()
+        started = perf_counter()
+        for _ in range(iters):
+            out = BatchOutput()
+            router.ingest_batch(c2d, out)
+            router.ingest_batch(d2c, out)
+        best_ingest = min(best_ingest, perf_counter() - started)
+        started = perf_counter()
+        for _ in range(iters):
+            out = BatchOutput()
+            router.ingest_batch(c2d, out)
+            router.ingest_batch(d2c, out)
+            out.serialize()
+        best_wire = min(best_wire, perf_counter() - started)
+    return {
+        "packets": total,
+        "chunk": chunk,
+        "ingest_seconds": round(best_ingest, 4),
+        "ingest_packets_per_sec": round(total / best_ingest)
+        if best_ingest else 0,
+        "wire_seconds": round(best_wire, 4),
+        "wire_packets_per_sec": round(total / best_wire)
+        if best_wire else 0,
+    }
+
+
+def batch_parity(seed: int = 7, rows: int = 64) -> dict:
+    """Byte-parity gate: the same rows pumped scalar (one frame at a
+    time through ``inmate_frame``/``upstream_packet``) and batched
+    (one ``ingest_batch`` call) must produce identical wire bytes per
+    emission channel, identical router counters, and identical
+    flow-table stats."""
+    payload = b"x" * 512
+    target = IPv4Address(TARGET_IP)
+
+    scalar = RouterHarness(seed=seed, fastpath=True)
+    record = scalar.establish_flow(vlan=2, sport=40000)
+    inmate_ip = record.orig.orig_ip
+    nat_global = record.nat_global or inmate_ip
+    scalar.drain()
+    for index in range(rows):
+        segment = TCPSegment(40000, TARGET_PORT, 2000 + index * 512,
+                             9001, ACK | PSH, payload=payload)
+        frame = EthernetFrame(scalar.mac, MacAddress("02:00:00:00:00:01"),
+                              IPv4Packet(inmate_ip, target, segment),
+                              vlan=2)
+        scalar.router.inmate_frame(frame, 2)
+    for index in range(rows):
+        scalar.router.upstream_packet(IPv4Packet(
+            target, nat_global,
+            TCPSegment(TARGET_PORT, 40000, 9500 + index * 512, 2001,
+                       ACK | PSH, payload=payload)))
+    reference = {
+        EMIT_UPSTREAM: [p.to_bytes() for p in scalar.upstream],
+        EMIT_VLAN: [p.to_bytes() for p in scalar.to_vlan],
+    }
+
+    batched = RouterHarness(seed=seed, fastpath=True)
+    batched.establish_flow(vlan=2, sport=40000)
+    batch = WireBatch()
+    for index in range(rows):
+        batch.append_tcp(inmate_ip.value, 40000, target.value,
+                         TARGET_PORT, 2000 + index * 512, 9001,
+                         ACK | PSH, 65535, payload, vlan=2)
+    for index in range(rows):
+        batch.append_tcp(target.value, TARGET_PORT, nat_global.value,
+                         40000, 9500 + index * 512, 2001, ACK | PSH,
+                         65535, payload, origin=ORIGIN_UPSTREAM)
+    out = BatchOutput()
+    batched.router.ingest_batch(batch, out)
+    channels = out.by_channel()
+
+    return {
+        "rows": 2 * rows,
+        "wires_match": (
+            channels.get(EMIT_UPSTREAM, []) == reference[EMIT_UPSTREAM]
+            and channels.get(EMIT_VLAN, []) == reference[EMIT_VLAN]),
+        "counters_match": (dict(scalar.router.counters)
+                           == dict(batched.router.counters)),
+        "stats_match": (scalar.router.flowtable.stats()
+                        == batched.router.flowtable.stats()),
+    }
+
+
 def bench_flow_setup(flows: int, seed: int = 7) -> dict:
     """Full shim round-trips per second (the slow path, paid once per
     flow)."""
@@ -316,9 +445,15 @@ def run_farm(seed: int, inmates: int, rounds: int, duration: float,
     for rec in farm.gateway.upstream_trace.records:
         digest.update(rec.frame.to_bytes())
     # Telemetry snapshots only keep deterministic instruments, so the
-    # whole metric surface folds into the digest too.
-    digest.update(json.dumps(farm.telemetry_snapshot(include_traces=False),
-                             sort_keys=True).encode())
+    # whole metric surface folds into the digest too — except the
+    # flowtable.* instruments, which exist only when the fast path is
+    # enabled and would trivially break the on/off parity digest while
+    # saying nothing about wire behavior.
+    snapshot = farm.telemetry_snapshot(include_traces=False)
+    for family in ("counters", "gauges"):
+        snapshot[family] = {k: v for k, v in snapshot[family].items()
+                            if not k.startswith("flowtable.")}
+    digest.update(json.dumps(snapshot, sort_keys=True).encode())
     return {
         "fastpath": fastpath,
         "events": farm.sim.events_processed,
@@ -331,6 +466,63 @@ def run_farm(seed: int, inmates: int, rounds: int, duration: float,
         "packets_per_sec": round(counters["packets_relayed"] / elapsed)
         if elapsed else 0,
         "digest": digest.hexdigest(),
+    }
+
+
+def run_farm_flow_digest(seed: int, inmates: int, rounds: int,
+                         duration: float,
+                         batch_window=None) -> dict:
+    """``run_farm`` with a configurable trunk batch window, digesting
+    only wire-level evidence (counters, flow log, upstream trace
+    bytes).  Telemetry stays out: a positive window legitimately
+    shifts event-stride gauge samples without changing any wire
+    behavior, and this digest must isolate the latter."""
+    farm = Farm(FarmConfig(seed=seed, telemetry=True,
+                           batch_window=batch_window))
+    _echo_server(farm.add_external_host("echo", TARGET_IP))
+    sub = farm.create_subfarm("bench")
+    sub.set_default_policy(AllowAll())
+    sub.router.fastpath_enabled = True
+    for _ in range(inmates):
+        sub.create_inmate(image_factory=streaming_image(rounds))
+    farm.run(until=duration)
+    counters = dict(sub.router.counters)
+    digest = hashlib.sha256()
+    digest.update(json.dumps(counters, sort_keys=True).encode())
+    for entry in sub.router.flow_log:
+        digest.update(
+            f"{entry.timestamp:.9f}|{entry.vlan}|{entry.verdict}"
+            f"|{entry.orig}|{entry.policy}".encode())
+    for rec in farm.gateway.upstream_trace.records:
+        digest.update(rec.frame.to_bytes())
+    return {
+        "batch_window": batch_window,
+        "digest": digest.hexdigest(),
+        "counters": counters,
+        "flowtable": sub.router.flowtable.stats(),
+    }
+
+
+def run_batch_determinism(seed: int, inmates: int, rounds: int,
+                          duration: float,
+                          window: float = 0.005) -> dict:
+    """Batch-vs-scalar farm gate.  A zero window coalesces only
+    naturally coincident frames (timing untouched), so its flow digest
+    must be byte-identical to the unbatched farm; a positive window
+    quantizes delivery times (timestamps legitimately move) but every
+    router counter and flow-table stat must still match."""
+    base = run_farm_flow_digest(seed, inmates, rounds, duration)
+    zero = run_farm_flow_digest(seed, inmates, rounds, duration,
+                                batch_window=0.0)
+    windowed = run_farm_flow_digest(seed, inmates, rounds, duration,
+                                    batch_window=window)
+    return {
+        "digest": base["digest"],
+        "window": window,
+        "coincident_parity_match": zero["digest"] == base["digest"],
+        "window_counters_match": (
+            windowed["counters"] == base["counters"]
+            and windowed["flowtable"] == base["flowtable"]),
     }
 
 
@@ -368,8 +560,13 @@ def main(argv=None) -> int:
     if args.quick:
         determinism = run_determinism(args.seed, inmates=3, rounds=40,
                                       duration=120.0)
+        parity = batch_parity(seed=args.seed)
+        batch_det = run_batch_determinism(args.seed, inmates=3,
+                                          rounds=40, duration=120.0)
         fwd_fast = bench_forwarding(True, 5_000, seed=args.seed)
         print(json.dumps({"determinism": determinism,
+                          "batch_parity": parity,
+                          "batch_determinism": batch_det,
                           "forward_smoke_pps": fwd_fast["packets_per_sec"]},
                          indent=2))
         if not determinism["same_seed_match"]:
@@ -378,11 +575,28 @@ def main(argv=None) -> int:
         if not determinism["fastpath_parity_match"]:
             print("FAIL: fastpath on/off digests differ", file=sys.stderr)
             return 1
+        if not (parity["wires_match"] and parity["counters_match"]
+                and parity["stats_match"]):
+            print("FAIL: batched datapath diverges from scalar "
+                  f"({parity})", file=sys.stderr)
+            return 1
+        if not batch_det["coincident_parity_match"]:
+            print("FAIL: batch_window=0 farm digest differs from "
+                  "unbatched", file=sys.stderr)
+            return 1
+        if not batch_det["window_counters_match"]:
+            print("FAIL: windowed farm counters differ from unbatched",
+                  file=sys.stderr)
+            return 1
         print("determinism OK")
         return 0
 
     before_fwd = bench_forwarding(False, args.packets, seed=args.seed)
     after_fwd = bench_forwarding(True, args.packets, seed=args.seed)
+    batch = bench_batch(args.packets, seed=args.seed)
+    parity = batch_parity(seed=args.seed)
+    batch_det = run_batch_determinism(args.seed, inmates=3, rounds=40,
+                                      duration=120.0)
     setup = bench_flow_setup(args.flows, seed=args.seed)
     before_e2e = run_farm(args.seed, args.inmates, args.rounds,
                           args.duration, fastpath=False)
@@ -407,6 +621,15 @@ def main(argv=None) -> int:
             "after": after_fwd,
             "speedup": speedup(before_fwd, after_fwd, "packets_per_sec"),
         },
+        "batch": {
+            "datapath": batch,
+            "speedup_vs_fastpath": round(
+                batch["ingest_packets_per_sec"]
+                / after_fwd["packets_per_sec"], 3)
+            if after_fwd["packets_per_sec"] else 0.0,
+            "parity": parity,
+            "determinism": batch_det,
+        },
         "flow_setup": setup,
         "end_to_end": {
             "before": {k: v for k, v in before_e2e.items() if k != "digest"},
@@ -422,7 +645,11 @@ def main(argv=None) -> int:
         handle.write("\n")
     print(f"\nwrote {args.output}")
     ok = (determinism["same_seed_match"]
-          and determinism["fastpath_parity_match"])
+          and determinism["fastpath_parity_match"]
+          and parity["wires_match"] and parity["counters_match"]
+          and parity["stats_match"]
+          and batch_det["coincident_parity_match"]
+          and batch_det["window_counters_match"])
     return 0 if ok else 1
 
 

@@ -79,8 +79,14 @@ def run_farm_journal(seed: int, inmates: int, rounds: int,
             f"|{entry.orig}|{entry.policy}".encode())
     for rec in farm.gateway.upstream_trace.records:
         digest.update(rec.frame.to_bytes())
-    digest.update(json.dumps(farm.telemetry_snapshot(include_traces=False),
-                             sort_keys=True).encode())
+    # flowtable.* instruments are excluded to match the recipe in
+    # bench_hotpath.run_farm (they exist only when the fast path is on,
+    # so the tracked on/off parity digest must not see them).
+    snapshot = farm.telemetry_snapshot(include_traces=False)
+    for family in ("counters", "gauges"):
+        snapshot[family] = {k: v for k, v in snapshot[family].items()
+                            if not k.startswith("flowtable.")}
+    digest.update(json.dumps(snapshot, sort_keys=True).encode())
     return {
         "seconds": round(elapsed, 4),
         "digest": digest.hexdigest(),

@@ -75,6 +75,9 @@ class FarmConfig:
         lifecycle_retry_backoff: float = 30.0,
         malice_policy: str = "isolate",
         quarantine_max_frames: int = 1024,
+        flowtable_idle_timeout: Optional[float] = None,
+        flowtable_hard_timeout: Optional[float] = None,
+        batch_window: Optional[float] = None,
     ) -> None:
         self.seed = seed
         # Four /24s for the inmate population, one for control (§6.7).
@@ -127,6 +130,22 @@ class FarmConfig:
                 f"not {malice_policy!r}")
         self.malice_policy = malice_policy
         self.quarantine_max_frames = quarantine_max_frames
+        # Match-action flow tables (docs/PERFORMANCE.md): entries for
+        # flows idle longer than flowtable_idle_timeout (or older than
+        # flowtable_hard_timeout) are evicted back to the slow path.
+        # None (the default) leaves entries resident for the life of
+        # the flow, matching the pre-timeout fast path byte-for-byte.
+        self.flowtable_idle_timeout = flowtable_idle_timeout
+        self.flowtable_hard_timeout = flowtable_hard_timeout
+        # Batched trunk ingest: batch_window=None (default) keeps
+        # per-frame delivery; 0.0 coalesces only naturally coincident
+        # frames (timing untouched); a positive value quantizes trunk
+        # delivery to window boundaries so concurrent inmates' frames
+        # arrive together and run the struct-of-arrays datapath.
+        if batch_window is not None and batch_window < 0:
+            raise ValueError(
+                f"batch_window must be >= 0, not {batch_window}")
+        self.batch_window = batch_window
 
     # ------------------------------------------------------------------
     # Serialization — ships configs to campaign workers
@@ -160,6 +179,9 @@ class FarmConfig:
             "lifecycle_retry_backoff": self.lifecycle_retry_backoff,
             "malice_policy": self.malice_policy,
             "quarantine_max_frames": self.quarantine_max_frames,
+            "flowtable_idle_timeout": self.flowtable_idle_timeout,
+            "flowtable_hard_timeout": self.flowtable_hard_timeout,
+            "batch_window": self.batch_window,
         }
 
     @classmethod
@@ -177,7 +199,8 @@ class FarmConfig:
             "retry_backoff", "pending_policy", "cs_probe_interval",
             "cs_failure_threshold", "lifecycle_retry_limit",
             "lifecycle_retry_backoff", "malice_policy",
-            "quarantine_max_frames",
+            "quarantine_max_frames", "flowtable_idle_timeout",
+            "flowtable_hard_timeout", "batch_window",
         }
         unknown = set(data) - known
         if unknown:
@@ -242,6 +265,10 @@ class Subfarm:
             control_pool=farm.control_pool,
         )
         farm.gateway.add_router(self.router)
+        self.router.flowtable_idle_timeout = \
+            farm.config.flowtable_idle_timeout
+        self.router.flowtable_hard_timeout = \
+            farm.config.flowtable_hard_timeout
         self.router.barrier.policy = farm.config.malice_policy
         self.router.barrier.quarantine_max_frames = \
             farm.config.quarantine_max_frames
@@ -555,6 +582,13 @@ class Farm:
         self.gateway = Gateway(self.sim)
         self.inmate_switch = Switch(self.sim, "inmate-net")
         self.gateway.attach_trunk(self.inmate_switch)
+        # Batched trunk ingest (docs/PERFORMANCE.md): opt-in, so the
+        # default farm's delivery schedule is untouched.
+        if self.config.batch_window is not None:
+            self.gateway.trunk_port.coalesce = self.sim
+            if self.config.batch_window > 0:
+                self.gateway.trunk_port.link.batch_window = \
+                    self.config.batch_window
         self.gateway.attach_upstream(
             self.backbone,
             self.config.global_networks + [self.config.control_network],

@@ -1,0 +1,519 @@
+"""OpenFlow-style exact-match flow tables for the gateway fast path.
+
+PR 2 compiled post-verdict forwarding into per-flow Python closures.
+This module replaces those closures with *match-action table entries*:
+pure data — ports, an address pair, sequence-number deltas, an emission
+code, and timeout parameters — interpreted by a small set of shared
+executor functions.  Rules-as-data is the property the ROADMAP needs
+for live policy reconfiguration: an entry can be inspected, journaled,
+dumped (examples/flowtable_dump.py), aged out on the virtual clock,
+and re-installed on the next table miss, none of which a closure
+allows.
+
+The table is exact-match on the directed int tuple
+``(src_ip, sport, dst_ip, dport, proto)`` (``SubfarmRouter._fp_key``);
+the VLAN is implicit in the inmate-side addressing each entry inherits
+from its flow record.  A miss — no entry, an idle/hard timeout
+expired, or a state-changing segment (SYN/RST) — falls through to the
+containment slow path byte-identically to PR 2's closure fallback.
+In OpenFlow terms: install/evict is ``ofp_flow_mod`` add/delete, the
+slow path is the controller, and ``_dispatch_known`` is packet-in.
+
+Timeout semantics (both default off, so the steady-state probe pays a
+single float compare):
+
+* *hard* — the entry dies ``hard_timeout`` virtual seconds after
+  install, unconditionally (``expires_at``).
+* *idle* — the entry dies once the flow has seen no activity for
+  ``idle_timeout`` virtual seconds, judged against the record's
+  ``last_activity`` (the same clock ``expire_idle_flows`` uses, so the
+  two aging mechanisms cannot disagree about what "idle" means).
+
+Executors run with ``(router, entry, packet)`` and translate PR 2's
+closure bodies statement-for-statement; every counter ordering quirk
+(e.g. the REWRITE return leg bumping ``s2c_packets`` before its RST
+check and ``s2c_bytes`` after emission) is preserved so fast path,
+slow path, and batch path stay byte- and counter-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.net.packet import (
+    ACK,
+    FIN,
+    IPv4Packet,
+    PROTO_TCP,
+    PROTO_UDP,
+    RST,
+    SYN,
+    UDPDatagram,
+)
+
+_MASK = 0xFFFFFFFF
+_INF = float("inf")
+
+# Action kinds: which executor interprets the entry.
+ACT_TCP_C2D = 0    # endpoint verdicts, originator -> enforced destination
+ACT_TCP_D2C = 1    # endpoint verdicts, destination -> originator
+ACT_TCP_C2CS = 2   # REWRITE, originator -> containment server
+ACT_TCP_CS2C = 3   # REWRITE, containment server -> originator
+ACT_UDP_C2D = 4
+ACT_UDP_D2C = 5
+ACT_UDP_C2CS = 6   # REWRITE UDP request leg (shim prefix re-injected)
+ACT_DROP_TCP = 7
+ACT_DROP_UDP = 8
+
+KIND_NAMES = {
+    ACT_TCP_C2D: "tcp-c2d",
+    ACT_TCP_D2C: "tcp-d2c",
+    ACT_TCP_C2CS: "tcp-c2cs",
+    ACT_TCP_CS2C: "tcp-cs2c",
+    ACT_UDP_C2D: "udp-c2d",
+    ACT_UDP_D2C: "udp-d2c",
+    ACT_UDP_C2CS: "udp-c2cs",
+    ACT_DROP_TCP: "drop-tcp",
+    ACT_DROP_UDP: "drop-udp",
+}
+
+# Emission codes: where the translated packet leaves the router.
+EMIT_VLAN = 0      # emit_arg = VLAN id
+EMIT_SERVICE = 1   # emit_arg = service IPv4Address
+EMIT_UPSTREAM = 2  # emit_arg unused
+EMIT_CS = 3        # emit_arg = containment-server IPv4Address (fault seam)
+
+
+class FlowEntry:
+    """One match-action rule: pure data plus a shared executor ref.
+
+    ``seq_delta``/``ack_delta`` are mod-2^32 *adders* (negative shifts
+    stored as their two's complement residue), so every translation is
+    the same ``(value + delta) & 0xFFFFFFFF`` regardless of direction.
+    """
+
+    __slots__ = (
+        "key", "kind", "record", "run",
+        "out_sport", "out_dport", "src_ip", "dst_ip",
+        "seq_delta", "ack_delta",
+        "emit_code", "emit_arg", "shaped", "payload_prefix",
+        "hits", "installed_at", "idle_timeout", "expires_at",
+    )
+
+    def __init__(self, key, kind, record, out_sport, out_dport,
+                 src_ip, dst_ip, seq_delta=0, ack_delta=0,
+                 emit_code=EMIT_UPSTREAM, emit_arg=None, shaped=False,
+                 payload_prefix=b"", installed_at=0.0,
+                 idle_timeout=None, hard_timeout=None):
+        self.key = key
+        self.kind = kind
+        self.record = record
+        self.run = _EXECUTORS[kind]
+        self.out_sport = out_sport
+        self.out_dport = out_dport
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.seq_delta = seq_delta
+        self.ack_delta = ack_delta
+        self.emit_code = emit_code
+        self.emit_arg = emit_arg
+        self.shaped = shaped
+        self.payload_prefix = payload_prefix
+        self.hits = 0
+        self.installed_at = installed_at
+        self.idle_timeout = idle_timeout
+        self.expires_at = (installed_at + hard_timeout
+                          if hard_timeout is not None else _INF)
+
+    @property
+    def owner(self):
+        """The FlowRecord this rule enforces (eviction identity guard)."""
+        return self.record
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at or (
+            self.idle_timeout is not None
+            and now - self.record.last_activity >= self.idle_timeout)
+
+    def timeout_reason(self, now: float) -> str:
+        return "hard" if now >= self.expires_at else "idle"
+
+    def describe(self) -> dict:
+        """Flow_mod-style view of the rule for dumps and the report."""
+        return {
+            "match": {
+                "src": self.key[0], "sport": self.key[1],
+                "dst": self.key[2], "dport": self.key[3],
+                "proto": self.key[4],
+            },
+            "action": KIND_NAMES[self.kind],
+            "out_sport": self.out_sport,
+            "out_dport": self.out_dport,
+            "seq_delta": self.seq_delta,
+            "ack_delta": self.ack_delta,
+            "emit": ("vlan", "service", "upstream", "cs")[self.emit_code],
+            "shaped": self.shaped,
+            "hits": self.hits,
+            "installed_at": self.installed_at,
+            "idle_timeout": self.idle_timeout,
+            "hard_expires_at": (None if self.expires_at == _INF
+                                else self.expires_at),
+            "vlan": self.record.vlan,
+            "phase": self.record.phase.value,
+            "verdict": self.record.verdict_name,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<FlowEntry {KIND_NAMES[self.kind]} {self.key} "
+                f"hits={self.hits}>")
+
+
+class FlowTable:
+    """One subfarm's exact-match table plus its counters.
+
+    ``entries`` is the raw probe dict — the router aliases it as
+    ``_fastpath`` so the per-packet path is still one C-level dict hit.
+    Stats are plain ints bumped on the packet path; telemetry cells are
+    synchronized at flow-rate events (install/evict/sweep/stats) so
+    observation never costs the datapath anything.
+    """
+
+    def __init__(self, name: str, telemetry=None) -> None:
+        self.name = name
+        self.entries: Dict[tuple, FlowEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.installs = 0
+        self.evictions = 0
+        self.timeout_idle = 0
+        self.timeout_hard = 0
+        tel = telemetry
+        if tel is not None:
+            self._g_occupancy = tel.gauge(
+                "flowtable.occupancy", "Installed flow-table entries"
+            ).bind(subfarm=name)
+            self._c_hits = tel.counter(
+                "flowtable.hits", "Flow-table probe hits").bind(subfarm=name)
+            self._c_misses = tel.counter(
+                "flowtable.misses",
+                "Flow-table misses (slow-path packets)").bind(subfarm=name)
+            self._c_installs = tel.counter(
+                "flowtable.installs", "Entries installed").bind(subfarm=name)
+            self._c_timeout_idle = tel.counter(
+                "flowtable.evictions.timeout", "Entries aged out"
+            ).bind(subfarm=name, reason="idle")
+            self._c_timeout_hard = tel.counter(
+                "flowtable.evictions.timeout", "Entries aged out"
+            ).bind(subfarm=name, reason="hard")
+        else:
+            self._g_occupancy = None
+        self._synced = [0, 0, 0, 0, 0]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def sync_metrics(self) -> None:
+        """Mirror the plain-int stats into telemetry cells (monotonic
+        deltas, so disabled telemetry costs nothing here either)."""
+        if self._g_occupancy is None:
+            return
+        self._g_occupancy.set(float(len(self.entries)))
+        synced = self._synced
+        for index, (count, cell) in enumerate((
+            (self.hits, self._c_hits),
+            (self.misses, self._c_misses),
+            (self.installs, self._c_installs),
+            (self.timeout_idle, self._c_timeout_idle),
+            (self.timeout_hard, self._c_timeout_hard),
+        )):
+            delta = count - synced[index]
+            if delta:
+                cell.inc(delta)
+                synced[index] = count
+
+    def stats(self) -> dict:
+        self.sync_metrics()
+        return {
+            "occupancy": len(self.entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "installs": self.installs,
+            "evictions": self.evictions,
+            "timeout_evictions": {"idle": self.timeout_idle,
+                                  "hard": self.timeout_hard},
+        }
+
+    def snapshot(self) -> List[dict]:
+        """Describe every installed rule (stable order: install time,
+        then key) — the ``flow dump`` equivalent."""
+        return [entry.describe() for entry in
+                sorted(self.entries.values(),
+                       key=lambda e: (e.installed_at, e.key))]
+
+    def expired_entries(self, now: float) -> List[FlowEntry]:
+        return [entry for entry in self.entries.values()
+                if entry.expired(now)]
+
+
+# ----------------------------------------------------------------------
+# Scalar executors — statement-for-statement translations of the PR 2
+# closures.  ``entry.run(router, entry, packet)`` is the whole calling
+# convention; nothing here may allocate per-flow state.
+# ----------------------------------------------------------------------
+
+def _run_tcp_c2d(router, entry, packet):
+    segment = packet.payload
+    flags = segment.flags
+    if flags & 0x06:  # SYN or RST: state-changing, packet-in
+        router._dispatch_known(entry.record, packet, entry.record.orig)
+        return
+    record = entry.record
+    record.last_activity = router.sim.now
+    record.c2s_packets += 1
+    record.c2s_bytes += len(segment.payload)
+    ack = ((segment.ack + entry.ack_delta) & _MASK
+           if flags & ACK else segment.ack)
+    out = segment.rebind(entry.out_sport, entry.out_dport, segment.seq, ack)
+    router.counters["packets_relayed"] += 1
+    router._m_packets.inc()
+    router._emit_entry(entry, IPv4Packet.wrap(entry.src_ip, entry.dst_ip,
+                                              out, PROTO_TCP))
+
+
+def _run_tcp_d2c(router, entry, packet):
+    segment = packet.payload
+    record = entry.record
+    record.last_activity = router.sim.now
+    record.s2c_packets += 1
+    if segment.payload:
+        record.s2c_bytes += len(segment.payload)
+    ack = ((segment.ack + entry.ack_delta) & _MASK
+           if segment.flags & ACK else segment.ack)
+    out = segment.rebind(entry.out_sport, entry.out_dport,
+                         (segment.seq + entry.seq_delta) & _MASK, ack)
+    router.counters["packets_relayed"] += 1
+    router._m_packets.inc()
+    router._emit_entry(entry, IPv4Packet.wrap(entry.src_ip, entry.dst_ip,
+                                              out, PROTO_TCP))
+
+
+def _run_tcp_c2cs(router, entry, packet):
+    segment = packet.payload
+    flags = segment.flags
+    if flags & 0x06:  # SYN or RST: state-changing, packet-in
+        router._dispatch_known(entry.record, packet, entry.record.orig)
+        return
+    record = entry.record
+    record.last_activity = router.sim.now
+    record.c2s_packets += 1
+    record.c2s_bytes += len(segment.payload)
+    if flags & FIN:
+        record.client_fin = True
+    ack = ((segment.ack + entry.ack_delta) & _MASK if flags & ACK else 0)
+    out = segment.rebind(entry.out_sport, entry.out_dport,
+                         (segment.seq + entry.seq_delta) & _MASK, ack)
+    router.counters["packets_relayed"] += 1
+    router._m_packets.inc()
+    router._emit_entry(entry, IPv4Packet.wrap(entry.src_ip, entry.dst_ip,
+                                              out, PROTO_TCP))
+
+
+def _run_tcp_cs2c(router, entry, packet):
+    segment = packet.payload
+    record = entry.record
+    record.s2c_packets += 1
+    if segment.flags & RST:  # server abort: slow path
+        router._server_packet_from_cs(record, segment)
+        return
+    ack = ((segment.ack + entry.ack_delta) & _MASK
+           if segment.flags & ACK else segment.ack)
+    out = segment.rebind(entry.out_sport, entry.out_dport,
+                         (segment.seq + entry.seq_delta) & _MASK, ack)
+    router.counters["packets_relayed"] += 1
+    router._m_packets.inc()
+    router._emit_entry(entry, IPv4Packet.wrap(entry.src_ip, entry.dst_ip,
+                                              out, PROTO_TCP))
+    if segment.payload:
+        record.s2c_bytes += len(segment.payload)
+
+
+def _run_udp_c2d(router, entry, packet):
+    datagram = packet.payload
+    record = entry.record
+    record.last_activity = router.sim.now
+    record.c2s_packets += 1
+    record.c2s_bytes += len(datagram.payload)
+    out = datagram.rebind(entry.out_sport, entry.out_dport)
+    router.counters["packets_relayed"] += 1
+    router._m_packets.inc()
+    router._emit_entry(entry, IPv4Packet.wrap(entry.src_ip, entry.dst_ip,
+                                              out, PROTO_UDP))
+
+
+def _run_udp_d2c(router, entry, packet):
+    record = entry.record
+    record.last_activity = router.sim.now
+    record.s2c_packets += 1
+    payload = packet.payload.payload
+    record.s2c_bytes += len(payload)
+    out = UDPDatagram(entry.out_sport, entry.out_dport, payload)
+    router._emit_entry(entry, IPv4Packet.wrap(entry.src_ip, entry.dst_ip,
+                                              out, PROTO_UDP))
+
+
+def _run_udp_c2cs(router, entry, packet):
+    datagram = packet.payload
+    record = entry.record
+    record.last_activity = router.sim.now
+    record.c2s_packets += 1
+    record.c2s_bytes += len(datagram.payload)
+    wrapped = UDPDatagram(entry.out_sport, entry.out_dport,
+                          entry.payload_prefix + datagram.payload)
+    router.counters["shims_injected"] += 1
+    router._m_shims_injected.inc()
+    router._emit_entry(entry, IPv4Packet.wrap(entry.src_ip, entry.dst_ip,
+                                              wrapped, PROTO_UDP))
+
+
+def _run_drop_tcp(router, entry, packet):
+    if packet.payload.flags & SYN:  # may be a new incarnation
+        router._dispatch_known(entry.record, packet, entry.record.orig)
+        return
+    entry.record.last_activity = router.sim.now
+
+
+def _run_drop_udp(router, entry, packet):
+    entry.record.last_activity = router.sim.now
+
+
+_EXECUTORS = {
+    ACT_TCP_C2D: _run_tcp_c2d,
+    ACT_TCP_D2C: _run_tcp_d2c,
+    ACT_TCP_C2CS: _run_tcp_c2cs,
+    ACT_TCP_CS2C: _run_tcp_cs2c,
+    ACT_UDP_C2D: _run_udp_c2d,
+    ACT_UDP_D2C: _run_udp_d2c,
+    ACT_UDP_C2CS: _run_udp_c2cs,
+    ACT_DROP_TCP: _run_drop_tcp,
+    ACT_DROP_UDP: _run_drop_udp,
+}
+
+#: Kinds the batched engine may vectorize over a same-key run.  Shaped
+#: entries are excluded at run-detection time (the token bucket is
+#: per-packet stateful), and runs containing state-changing flags fall
+#: back row-by-row to the scalar executors.
+BATCHABLE_KINDS = frozenset(_EXECUTORS)
+
+
+# ----------------------------------------------------------------------
+# Batched (object-mode) execution: one entry, a run of packets.
+# ----------------------------------------------------------------------
+
+def execute_run(router, entry, packets) -> None:
+    """Vectorized execution of a same-entry run of IPv4Packet objects.
+
+    Counters are bulk-applied, sequence translations run as one
+    comprehension per column (struct-of-arrays over Python lists), and
+    emission stays per-row in arrival order so wire output is
+    byte-identical to scalar execution.  Runs containing SYN/RST (or a
+    DROP run containing SYN) degrade row-by-row to the scalar
+    executors, which own all state transitions.
+    """
+    kind = entry.kind
+    run = entry.run
+    if kind in (ACT_DROP_TCP, ACT_DROP_UDP):
+        if kind == ACT_DROP_TCP and any(
+                p.payload.flags & SYN for p in packets):
+            for packet in packets:
+                run(router, entry, packet)
+            return
+        entry.record.last_activity = router.sim.now
+        return
+
+    if kind in (ACT_TCP_C2D, ACT_TCP_C2CS) and any(
+            p.payload.flags & 0x06 for p in packets):
+        for packet in packets:
+            run(router, entry, packet)
+        return
+    if kind == ACT_TCP_CS2C and any(
+            p.payload.flags & RST for p in packets):
+        for packet in packets:
+            run(router, entry, packet)
+        return
+
+    record = entry.record
+    counters = router.counters
+    n = len(packets)
+    emit = router._emit_entry
+    wrap = IPv4Packet.wrap
+    src_ip, dst_ip = entry.src_ip, entry.dst_ip
+    sport, dport = entry.out_sport, entry.out_dport
+
+    if kind == ACT_TCP_C2D or kind == ACT_TCP_C2CS or kind == ACT_TCP_CS2C \
+            or kind == ACT_TCP_D2C:
+        segs = [p.payload for p in packets]
+        sd = entry.seq_delta
+        ad = entry.ack_delta
+        if kind == ACT_TCP_C2CS:
+            acks = [(s.ack + ad) & _MASK if s.flags & ACK else 0
+                    for s in segs]
+        else:
+            acks = [(s.ack + ad) & _MASK if s.flags & ACK else s.ack
+                    for s in segs]
+        seqs = ([(s.seq + sd) & _MASK for s in segs] if sd
+                else [s.seq for s in segs])
+        nbytes = sum(len(s.payload) for s in segs)
+        if kind == ACT_TCP_C2D or kind == ACT_TCP_C2CS:
+            record.last_activity = router.sim.now
+            record.c2s_packets += n
+            record.c2s_bytes += nbytes
+            if kind == ACT_TCP_C2CS and any(s.flags & FIN for s in segs):
+                record.client_fin = True
+        elif kind == ACT_TCP_D2C:
+            record.last_activity = router.sim.now
+            record.s2c_packets += n
+            record.s2c_bytes += nbytes
+        else:  # CS2C: no last_activity (slow-path parity)
+            record.s2c_packets += n
+            record.s2c_bytes += nbytes
+        counters["packets_relayed"] += n
+        router._m_packets.inc(n)
+        for seg, seq, ack in zip(segs, seqs, acks):
+            emit(entry, wrap(src_ip, dst_ip,
+                             seg.rebind(sport, dport, seq, ack), PROTO_TCP))
+        return
+
+    if kind == ACT_UDP_C2D:
+        grams = [p.payload for p in packets]
+        record.last_activity = router.sim.now
+        record.c2s_packets += n
+        record.c2s_bytes += sum(len(g.payload) for g in grams)
+        counters["packets_relayed"] += n
+        router._m_packets.inc(n)
+        for gram in grams:
+            emit(entry, wrap(src_ip, dst_ip, gram.rebind(sport, dport),
+                             PROTO_UDP))
+        return
+
+    if kind == ACT_UDP_D2C:
+        payloads = [p.payload.payload for p in packets]
+        record.last_activity = router.sim.now
+        record.s2c_packets += n
+        record.s2c_bytes += sum(len(b) for b in payloads)
+        for body in payloads:
+            emit(entry, wrap(src_ip, dst_ip,
+                             UDPDatagram(sport, dport, body), PROTO_UDP))
+        return
+
+    # ACT_UDP_C2CS
+    prefix = entry.payload_prefix
+    grams = [p.payload for p in packets]
+    record.last_activity = router.sim.now
+    record.c2s_packets += n
+    record.c2s_bytes += sum(len(g.payload) for g in grams)
+    counters["shims_injected"] += n
+    router._m_shims_injected.inc(n)
+    for gram in grams:
+        emit(entry, wrap(src_ip, dst_ip,
+                         UDPDatagram(sport, dport, prefix + gram.payload),
+                         PROTO_UDP))

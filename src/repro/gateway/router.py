@@ -50,6 +50,25 @@ from repro.gateway.flows import (
     FlowRecord,
     TokenBucket,
 )
+from repro.gateway.flowtable import (
+    ACT_DROP_TCP,
+    ACT_DROP_UDP,
+    ACT_TCP_C2CS,
+    ACT_TCP_C2D,
+    ACT_TCP_CS2C,
+    ACT_TCP_D2C,
+    ACT_UDP_C2CS,
+    ACT_UDP_C2D,
+    ACT_UDP_D2C,
+    EMIT_CS,
+    EMIT_SERVICE,
+    EMIT_UPSTREAM,
+    EMIT_VLAN,
+    FlowEntry,
+    FlowTable,
+    execute_run,
+)
+from repro.net.wirebatch import ORIGIN_UPSTREAM
 from repro.gateway.nat import InboundMode, NatTable
 from repro.gateway.safety import SafetyFilter
 from repro.net.addresses import IPv4Address
@@ -163,14 +182,22 @@ class SubfarmRouter:
         self._next_nonce = self.NONCE_PORT_BASE
 
         # Established-flow fast path (the compiled forwarding path of
-        # §4): post-verdict flows get per-packet handlers bound to the
-        # directed tuples their packets arrive on, so the steady state
-        # pays one dict hit and one call instead of _dispatch_known's
+        # §4), realised as a match-action flow table: post-verdict
+        # flows get pure-data FlowEntry rules bound to the directed
+        # tuples their packets arrive on, so the steady state pays one
+        # dict hit and one executor call instead of _dispatch_known's
         # branch tree.  Toggleable for A/B benchmarking.
         self.fastpath_enabled = True
-        # Keyed by int-tuple (see _fp_key), not FiveTuple: the per-
-        # packet probe must not pay Python-level __hash__/__eq__.
-        self._fastpath: Dict[tuple, Callable[[IPv4Packet], None]] = {}
+        self.flowtable = FlowTable(name, telemetry=self.telemetry)
+        # Alias of the table's entry dict, keyed by int-tuple (see
+        # _fp_key), not FiveTuple: the per-packet probe must not pay
+        # Python-level __hash__/__eq__ or an extra attribute hop.
+        self._fastpath: Dict[tuple, FlowEntry] = self.flowtable.entries
+        # Entry aging on the virtual clock (None = no aging, matching
+        # the pre-table fast path): consulted at install time, enforced
+        # lazily at probe time and eagerly by the housekeeping sweep.
+        self.flowtable_idle_timeout: Optional[float] = None
+        self.flowtable_hard_timeout: Optional[float] = None
 
         # Per-service NAT for outbound service traffic (control /24).
         self._service_nat: Dict[IPv4Address, IPv4Address] = {}
@@ -336,36 +363,56 @@ class SubfarmRouter:
         except ParseError as error:
             self._on_parse_error(error, vlan=vlan, data=data)
 
-    def _inmate_frame_body(self, frame, vlan: int) -> None:
+    def _inmate_preamble(self, frame, vlan: int) -> Optional[IPv4Packet]:
+        """Per-frame admission work shared by the scalar and batched
+        trunk paths: trace capture, bridge learning, and the traffic
+        classes that never reach containment (DHCP, gateway-addressed,
+        broadcast, trusted services).  Returns the packet when it
+        should continue to the flow table / slow path, None when the
+        frame was fully handled here."""
         self.trace.capture(self.sim.now, frame, point="inmate")
         packet = frame.payload
         if not isinstance(packet, IPv4Packet):
-            return
+            return None
         self.bridge.learn(vlan, frame.src, self.sim.now,
                           ip=packet.src if packet.src.value else None)
 
         if packet.proto == PROTO_UDP and packet.udp.dport == DHCP_SERVER_PORT:
             self._handle_dhcp(vlan, frame, packet)
-            return
+            return None
         if packet.dst == self.gateway_ip:
-            return  # traffic to the gateway itself (nothing listens)
+            return None  # traffic to the gateway itself (nothing listens)
         if packet.dst.value == 0xFFFFFFFF:
-            return  # other broadcast boot chatter
+            return None  # other broadcast boot chatter
         if packet.dst in self.trusted_ips:
             # Restricted broadcast domain: DHCP/DNS-style services are
             # reachable without containment.
             self._emit_to_service(packet.dst, packet)
-            return
+            return None
+        return packet
 
+    def _inmate_frame_body(self, frame, vlan: int) -> None:
+        packet = self._inmate_preamble(frame, vlan)
+        if packet is None:
+            return
         proto = packet.proto
         if proto == PROTO_TCP or proto == PROTO_UDP:
             transport = packet.payload
-            handler = self._fastpath.get(
+            entry = self._fastpath.get(
                 (packet.src.value, transport.sport,
                  packet.dst.value, transport.dport, proto))
-            if handler is not None:
-                handler(packet)
-                return
+            if entry is not None:
+                now = self.sim.now
+                if now < entry.expires_at and (
+                        entry.idle_timeout is None
+                        or now - entry.record.last_activity
+                        < entry.idle_timeout):
+                    entry.hits += 1
+                    self.flowtable.hits += 1
+                    entry.run(self, entry, packet)
+                    return
+                self._fastpath_timeout(entry, now)
+            self.flowtable.misses += 1
             key = FiveTuple(packet.src, transport.sport,
                             packet.dst, transport.dport, proto)
             record = self._index.get(key)
@@ -373,6 +420,288 @@ class SubfarmRouter:
                 self._dispatch_known(record, packet, key)
                 return
         self._new_flow(packet, vlan=vlan, inmate_is_originator=True)
+
+    def _inmate_packet_or_entry(self, packet: IPv4Packet,
+                                vlan: int) -> Optional[FlowEntry]:
+        """Probe the flow table for an admitted inmate packet.  A live
+        hit returns the entry (the caller starts or extends a batched
+        run; hits are counted at flush time); otherwise the packet is
+        fully handled on the slow path here and None is returned."""
+        proto = packet.proto
+        if proto == PROTO_TCP or proto == PROTO_UDP:
+            transport = packet.payload
+            entry = self._fastpath.get(
+                (packet.src.value, transport.sport,
+                 packet.dst.value, transport.dport, proto))
+            if entry is not None:
+                now = self.sim.now
+                if now < entry.expires_at and (
+                        entry.idle_timeout is None
+                        or now - entry.record.last_activity
+                        < entry.idle_timeout):
+                    return entry
+                self._fastpath_timeout(entry, now)
+            self.flowtable.misses += 1
+            key = FiveTuple(packet.src, transport.sport,
+                            packet.dst, transport.dport, proto)
+            record = self._index.get(key)
+            if record is not None:
+                self._dispatch_known(record, packet, key)
+                return None
+        self._new_flow(packet, vlan=vlan, inmate_is_originator=True)
+        return None
+
+    def _flush_entry_run(self, entry: FlowEntry, packets: list) -> None:
+        count = len(packets)
+        entry.hits += count
+        self.flowtable.hits += count
+        if count == 1:
+            entry.run(self, entry, packets[0])
+        else:
+            execute_run(self, entry, packets)
+
+    def inmate_frame_batch(self, items) -> None:
+        """Trunk ingest for a coalesced batch of ``(frame, vlan)``
+        pairs delivered at the same virtual instant.
+
+        Per-frame admission (trace capture, bridge learning, DHCP,
+        trusted-service delivery, parse errors) runs scalar and in
+        order; consecutive packets matching the same live flow-table
+        entry execute as one vectorized run.  A pending run is always
+        flushed before any frame that does not extend it, so every
+        emission happens in exactly the scalar order and the output is
+        byte-identical to per-frame ingestion.
+        """
+        barrier = self.barrier
+        run_entry = None
+        run_packets = None
+        for frame, vlan in items:
+            if run_entry is not None:
+                payload = frame.payload
+                if (not barrier.fail_stopped
+                        and isinstance(payload, IPv4Packet)
+                        and (payload.proto == PROTO_TCP
+                             or payload.proto == PROTO_UDP)):
+                    transport = payload.payload
+                    if (payload.src.value, transport.sport,
+                            payload.dst.value, transport.dport,
+                            payload.proto) == run_entry.key:
+                        # Extends the current run.  A key can only be
+                        # live in the table if its packets clear the
+                        # preamble's special cases, so only the
+                        # preamble's observation side runs here.
+                        self.trace.capture(self.sim.now, frame,
+                                           point="inmate")
+                        self.bridge.learn(
+                            vlan, frame.src, self.sim.now,
+                            ip=(payload.src if payload.src.value
+                                else None))
+                        run_packets.append(payload)
+                        continue
+                self._flush_entry_run(run_entry, run_packets)
+                run_entry = None
+            if barrier.fail_stopped:
+                barrier.note_failstop_drop()
+                continue
+            try:
+                packet = self._inmate_preamble(frame, vlan)
+                if packet is None:
+                    continue
+                entry = self._inmate_packet_or_entry(packet, vlan)
+            except ParseError as error:
+                self._on_parse_error(error, vlan=vlan, frame=frame)
+                continue
+            if entry is not None:
+                run_entry = entry
+                run_packets = [packet]
+        if run_entry is not None:
+            self._flush_entry_run(run_entry, run_packets)
+
+    # ------------------------------------------------------------------
+    # Struct-of-arrays batched datapath
+    # ------------------------------------------------------------------
+    def ingest_batch(self, batch, out) -> None:
+        """Run a :class:`repro.net.wirebatch.WireBatch` through the
+        flow table, vectorized per same-key run, collecting all output
+        into ``out`` (a :class:`repro.net.wirebatch.BatchOutput`).
+
+        This is the raw datapath surface: rows are transport packets
+        already past frame admission (no trace capture or bridge
+        learning happens here).  Runs whose entry declines batching —
+        state-changing flags, shaped emission, an active shim-link
+        fault view — and table-miss rows are materialized back into
+        packet objects and take the ordinary scalar paths, with their
+        emissions captured into ``out`` so row order across the whole
+        batch is preserved exactly.  Inmate-origin rows must carry
+        their vlan; upstream rows fall back to _upstream_packet_body.
+        """
+        barrier = self.barrier
+        if barrier.fail_stopped:
+            for _ in range(len(batch)):
+                barrier.note_failstop_drop()
+            return
+        table = self.flowtable
+        entries = table.entries
+        keys = batch.keys
+        n = len(keys)
+        saved = (self._emit_to_vlan, self._emit_to_service,
+                 self._emit_upstream)
+        self._emit_to_vlan = (lambda vlan, p:
+                              out.append_packet(EMIT_VLAN, vlan, p))
+        self._emit_to_service = (lambda ip, p:
+                                 out.append_packet(EMIT_SERVICE, ip, p))
+        self._emit_upstream = (lambda p:
+                               out.append_packet(EMIT_UPSTREAM, None, p))
+        try:
+            i = 0
+            while i < n:
+                key = keys[i]
+                j = i + 1
+                while j < n and keys[j] == key:
+                    j += 1
+                entry = entries.get(key)
+                if entry is not None:
+                    now = self.sim.now
+                    if now < entry.expires_at and (
+                            entry.idle_timeout is None
+                            or now - entry.record.last_activity
+                            < entry.idle_timeout):
+                        count = j - i
+                        entry.hits += count
+                        table.hits += count
+                        self._run_soa(entry, batch, i, j, out)
+                        i = j
+                        continue
+                    self._fastpath_timeout(entry, now)
+                for row in range(i, j):
+                    self._ingest_row_slow(batch, row, entries, table)
+                i = j
+        finally:
+            (self._emit_to_vlan, self._emit_to_service,
+             self._emit_upstream) = saved
+
+    def _ingest_row_slow(self, batch, row: int, entries, table) -> None:
+        packet = batch.materialize(row)
+        if batch.origin[row] == ORIGIN_UPSTREAM:
+            self._upstream_packet_body(packet)  # probes internally
+            return
+        # Inmate-origin: an earlier row in this batch may have
+        # (re-)installed a rule for this key, so probe again.
+        entry = entries.get(batch.keys[row])
+        if entry is not None:
+            now = self.sim.now
+            if now < entry.expires_at and (
+                    entry.idle_timeout is None
+                    or now - entry.record.last_activity
+                    < entry.idle_timeout):
+                entry.hits += 1
+                table.hits += 1
+                entry.run(self, entry, packet)
+                return
+            self._fastpath_timeout(entry, now)
+        table.misses += 1
+        transport = packet.payload
+        key = FiveTuple(packet.src, transport.sport,
+                        packet.dst, transport.dport, packet.proto)
+        record = self._index.get(key)
+        if record is not None:
+            self._dispatch_known(record, packet, key)
+            return
+        self._new_flow(packet, vlan=batch.vlan[row],
+                       inmate_is_originator=True)
+
+    def _run_soa(self, entry: FlowEntry, batch, i: int, j: int,
+                 out) -> None:
+        """Apply one entry's action vectorized over rows [i, j) of a
+        WireBatch, appending a single run to ``out``.  Runs the entry
+        cannot batch degrade to per-row scalar execution (emissions
+        still land in ``out`` via the swapped emit callbacks)."""
+        kind = entry.kind
+        record = entry.record
+        flags_col = batch.flags
+        scalar = (entry.shaped
+                  or (entry.emit_code == EMIT_CS
+                      and self.shim_link_faults is not None))
+        if not scalar:
+            if kind == ACT_TCP_C2D or kind == ACT_TCP_C2CS:
+                scalar = any(flags_col[r] & 0x06 for r in range(i, j))
+            elif kind == ACT_TCP_CS2C:
+                scalar = any(flags_col[r] & RST for r in range(i, j))
+            elif kind == ACT_DROP_TCP:
+                scalar = any(flags_col[r] & SYN for r in range(i, j))
+        if scalar:
+            run = entry.run
+            for row in range(i, j):
+                run(self, entry, batch.materialize(row))
+            return
+        count = j - i
+        if kind == ACT_DROP_TCP or kind == ACT_DROP_UDP:
+            record.last_activity = self.sim.now
+            return
+        payloads = batch.pay_obj[i:j]
+        nbytes = 0
+        pay_len = batch.pay_len
+        for r in range(i, j):
+            nbytes += pay_len[r]
+        counters = self.counters
+        if kind <= ACT_TCP_CS2C:  # the four TCP translations
+            seq_col = batch.seq
+            ack_col = batch.ack
+            sd = entry.seq_delta
+            ad = entry.ack_delta
+            mask = 0xFFFFFFFF
+            seqs = ([(seq_col[r] + sd) & mask for r in range(i, j)]
+                    if sd else list(seq_col[i:j]))
+            if kind == ACT_TCP_C2CS:
+                acks = [(ack_col[r] + ad) & mask
+                        if flags_col[r] & ACK else 0
+                        for r in range(i, j)]
+            else:
+                acks = [(ack_col[r] + ad) & mask
+                        if flags_col[r] & ACK else ack_col[r]
+                        for r in range(i, j)]
+            if kind == ACT_TCP_C2D or kind == ACT_TCP_C2CS:
+                record.last_activity = self.sim.now
+                record.c2s_packets += count
+                record.c2s_bytes += nbytes
+                if kind == ACT_TCP_C2CS and any(
+                        flags_col[r] & FIN for r in range(i, j)):
+                    record.client_fin = True
+            elif kind == ACT_TCP_D2C:
+                record.last_activity = self.sim.now
+                record.s2c_packets += count
+                record.s2c_bytes += nbytes
+            else:  # ACT_TCP_CS2C: no last_activity (slow-path parity)
+                record.s2c_packets += count
+                record.s2c_bytes += nbytes
+            counters["packets_relayed"] += count
+            self._m_packets.inc(count)
+            out.append_run(entry.emit_code, entry.emit_arg, PROTO_TCP,
+                           entry.src_ip, entry.dst_ip, entry.out_sport,
+                           entry.out_dport, seqs, acks,
+                           list(flags_col[i:j]), list(batch.window[i:j]),
+                           payloads)
+            return
+        if kind == ACT_UDP_C2D:
+            record.last_activity = self.sim.now
+            record.c2s_packets += count
+            record.c2s_bytes += nbytes
+            counters["packets_relayed"] += count
+            self._m_packets.inc(count)
+        elif kind == ACT_UDP_D2C:
+            record.last_activity = self.sim.now
+            record.s2c_packets += count
+            record.s2c_bytes += nbytes
+        else:  # ACT_UDP_C2CS: shim prefix per datagram
+            record.last_activity = self.sim.now
+            record.c2s_packets += count
+            record.c2s_bytes += nbytes
+            counters["shims_injected"] += count
+            self._m_shims_injected.inc(count)
+            payloads = [entry.payload_prefix + p for p in payloads]
+        out.append_run(entry.emit_code, entry.emit_arg, PROTO_UDP,
+                       entry.src_ip, entry.dst_ip, entry.out_sport,
+                       entry.out_dport, None, None, None, None, payloads)
 
     # ------------------------------------------------------------------
     # Entry point: frames from subfarm service hosts
@@ -406,12 +735,21 @@ class SubfarmRouter:
         proto = packet.proto
         if proto == PROTO_TCP or proto == PROTO_UDP:
             transport = packet.payload
-            handler = self._fastpath.get(
+            entry = self._fastpath.get(
                 (packet.src.value, transport.sport,
                  packet.dst.value, transport.dport, proto))
-            if handler is not None:
-                handler(packet)
-                return
+            if entry is not None:
+                now = self.sim.now
+                if now < entry.expires_at and (
+                        entry.idle_timeout is None
+                        or now - entry.record.last_activity
+                        < entry.idle_timeout):
+                    entry.hits += 1
+                    self.flowtable.hits += 1
+                    entry.run(self, entry, packet)
+                    return
+                self._fastpath_timeout(entry, now)
+            self.flowtable.misses += 1
             key = FiveTuple(packet.src, transport.sport,
                             packet.dst, transport.dport, proto)
             record = self._index.get(key)
@@ -462,12 +800,21 @@ class SubfarmRouter:
         proto = packet.proto
         if proto == PROTO_TCP or proto == PROTO_UDP:
             transport = packet.payload
-            handler = self._fastpath.get(
+            entry = self._fastpath.get(
                 (packet.src.value, transport.sport,
                  packet.dst.value, transport.dport, proto))
-            if handler is not None:
-                handler(packet)
-                return
+            if entry is not None:
+                now = self.sim.now
+                if now < entry.expires_at and (
+                        entry.idle_timeout is None
+                        or now - entry.record.last_activity
+                        < entry.idle_timeout):
+                    entry.hits += 1
+                    self.flowtable.hits += 1
+                    entry.run(self, entry, packet)
+                    return
+                self._fastpath_timeout(entry, now)
+            self.flowtable.misses += 1
             key = FiveTuple(packet.src, transport.sport,
                             packet.dst, transport.dport, proto)
             record = self._index.get(key)
@@ -760,7 +1107,21 @@ class SubfarmRouter:
             return
         if record.phase in (FlowPhase.DROPPED, FlowPhase.REFUSED,
                             FlowPhase.CLOSED):
+            # Table-miss after a timeout eviction: re-install a DROPPED
+            # flow's swallow rule so repeat traffic stays off the slow
+            # path (OpenFlow's table-miss -> flow_mod cycle).
+            if (record.phase is FlowPhase.DROPPED and self.fastpath_enabled
+                    and not record.fast_keys):
+                self._fastpath_install(record)
             return
+        # Table-miss re-install for live enforced flows whose rules
+        # were evicted by an idle/hard timeout: the flow is still
+        # valid, so compile fresh entries before relaying this packet
+        # on the slow path.
+        if (self.fastpath_enabled and not record.fast_keys
+                and record.phase is FlowPhase.ENFORCED
+                and record.decision is not None):
+            self._fastpath_install(record)
         # Which leg did this packet arrive on?
         if key == record.orig:
             self._relay_client_packet(record, packet)
@@ -805,21 +1166,25 @@ class SubfarmRouter:
     def _fastpath_install(self, record: FlowRecord) -> None:
         if not self.fastpath_enabled:
             return
-        self._fastpath_uninstall(record)
         if record.phase == FlowPhase.DROPPED:
-            handlers = self._compile_dropped(record)
+            entries = self._compile_dropped(record)
         elif record.phase == FlowPhase.ENFORCED and record.decision is not None:
             if record.decision.verdict & Verdict.REWRITE:
-                handlers = self._compile_rewrite(record)
+                entries = self._compile_rewrite(record)
             else:
-                handlers = self._compile_endpoint(record)
+                entries = self._compile_endpoint(record)
         else:
             return
-        for tuple_, handler in handlers:
-            key = self._fp_key(tuple_)
-            handler.owner = record
-            self._fastpath[key] = handler
-            record.fast_keys.append(key)
+        # Transactional commit: compilation finished (and may have
+        # raised) before any table mutation, so a failed compile can
+        # never leave orphan entries or a half-installed rule set.
+        self._fastpath_uninstall(record)
+        table = self.flowtable
+        for entry in entries:
+            table.entries[entry.key] = entry
+            record.fast_keys.append(entry.key)
+        table.installs += len(entries)
+        table.sync_metrics()
         if record.fast_keys and self.journal.enabled:
             self.journal.record(
                 "fastpath.install",
@@ -827,77 +1192,93 @@ class SubfarmRouter:
                 vlan=record.vlan, phase=record.phase.value,
                 handlers=len(record.fast_keys))
 
-    def _fastpath_uninstall(self, record: FlowRecord) -> None:
+    def _fastpath_uninstall(self, record: FlowRecord,
+                            reason: Optional[str] = None) -> None:
         if record.fast_keys and self.journal.enabled:
-            self.journal.record(
-                "fastpath.evict",
-                flow=self._trace_ids.get(record.mux_port),
-                vlan=record.vlan, handlers=len(record.fast_keys))
+            payload = dict(flow=self._trace_ids.get(record.mux_port),
+                           vlan=record.vlan,
+                           handlers=len(record.fast_keys))
+            if reason is not None:
+                payload["reason"] = reason
+            self.journal.record("fastpath.evict", **payload)
+        table = self.flowtable
+        entries = table.entries
+        removed = 0
         for key in record.fast_keys:
-            handler = self._fastpath.get(key)
-            if handler is not None and handler.owner is record:
-                del self._fastpath[key]
+            entry = entries.get(key)
+            if entry is not None and entry.record is record:
+                del entries[key]
+                removed += 1
         record.fast_keys.clear()
+        if removed:
+            table.evictions += removed
+            table.sync_metrics()
 
-    def _compile_client_emit(self, record: FlowRecord):
-        """Resolve _emit_to_client's routing once (minus shaping)."""
+    def _fastpath_timeout(self, entry: FlowEntry, now: float) -> None:
+        """An entry's idle or hard timeout has passed: evict the whole
+        flow's rules (both directions age together, like
+        expire_idle_flows) and journal the reason.  The next packet
+        re-installs via the table-miss path if the flow is still live."""
+        reason = entry.timeout_reason(now)
+        if reason == "hard":
+            self.flowtable.timeout_hard += 1
+        else:
+            self.flowtable.timeout_idle += 1
+        self._fastpath_uninstall(entry.record, reason=reason)
+
+    def _client_emit_plan(self, record: FlowRecord):
+        """Resolve _emit_to_client's routing to (emit_code, arg)."""
         if record.inmate_is_originator:
-            vlan = record.vlan
-            emit_to_vlan = self._emit_to_vlan
+            return EMIT_VLAN, record.vlan
+        return EMIT_UPSTREAM, None
 
-            def emit(p, vlan=vlan, emit_to_vlan=emit_to_vlan):
-                emit_to_vlan(vlan, p)
-            base = emit
-        else:
-            base = self._emit_upstream
-        if record.shaper is None:
-            return base
-        shaped = self._emit_shaped
-
-        def emit_shaped(p, record=record, base=base, shaped=shaped):
-            shaped(record, p, base)
-        return emit_shaped
-
-    def _compile_dst_emit(self, record: FlowRecord):
-        """Resolve _emit_dst's routing once (minus shaping)."""
+    def _dst_emit_plan(self, record: FlowRecord):
+        """Resolve _emit_dst's routing to (emit_code, arg)."""
         if record.dst_is_inmate_vlan is not None:
-            vlan = record.dst_is_inmate_vlan
-            emit_to_vlan = self._emit_to_vlan
+            return EMIT_VLAN, record.dst_is_inmate_vlan
+        if record.dst_ip in self.service_ips:
+            return EMIT_SERVICE, record.dst_ip
+        return EMIT_UPSTREAM, None
 
-            def emit(p, vlan=vlan, emit_to_vlan=emit_to_vlan):
-                emit_to_vlan(vlan, p)
-            base = emit
-        elif record.dst_ip in self.service_ips:
-            dst_ip = record.dst_ip
-            emit_to_service = self._emit_to_service
-
-            def emit(p, dst_ip=dst_ip, emit_to_service=emit_to_service):
-                emit_to_service(dst_ip, p)
-            base = emit
-        else:
+    def _emit_entry(self, entry: FlowEntry, packet: IPv4Packet) -> None:
+        """Dispatch a translated packet on the entry's emission code —
+        the action half of a match-action rule, shared by the scalar
+        executors and the batched run executor."""
+        code = entry.emit_code
+        if not entry.shaped:
+            if code == EMIT_VLAN:
+                self._emit_to_vlan(entry.emit_arg, packet)
+            elif code == EMIT_UPSTREAM:
+                self._emit_upstream(packet)
+            elif code == EMIT_CS:
+                self._emit_to_cs(entry.emit_arg, packet)
+            else:
+                self._emit_to_service(entry.emit_arg, packet)
+            return
+        if code == EMIT_VLAN:
+            base = (lambda p, emit=self._emit_to_vlan,
+                    vlan=entry.emit_arg: emit(vlan, p))
+        elif code == EMIT_UPSTREAM:
             base = self._emit_upstream
-        if record.shaper is None:
-            return base
-        shaped = self._emit_shaped
-
-        def emit_shaped(p, record=record, base=base, shaped=shaped):
-            shaped(record, p, base)
-        return emit_shaped
+        else:
+            base = (lambda p, emit=self._emit_to_service,
+                    ip=entry.emit_arg: emit(ip, p))
+        self._emit_shaped(entry.record, packet, base)
 
     def _compile_endpoint(self, record: FlowRecord):
-        """Handlers for handed-off flows (FORWARD/LIMIT/REDIRECT/
+        """Entries for handed-off flows (FORWARD/LIMIT/REDIRECT/
         REFLECT over TCP, plus all UDP endpoint verdicts)."""
-        sim = self.sim
-        counters = self.counters
-        m_packets = self._m_packets
-        dispatch = self._dispatch_known
         orig = record.orig
         orig_ip, orig_port = orig.orig_ip, orig.orig_port
         resp_ip, resp_port = orig.resp_ip, orig.resp_port
         dst_port = record.dst_port
         proto = orig.proto
-        emit_client = self._compile_client_emit(record)
-        emit_dst = self._compile_dst_emit(record)
+        shaped = record.shaper is not None
+        client_code, client_arg = self._client_emit_plan(record)
+        dst_code, dst_arg = self._dst_emit_plan(record)
+        now = self.sim.now
+        idle = self.flowtable_idle_timeout
+        hard = self.flowtable_hard_timeout
 
         # Destination addressing, as _address_dst_packet decides it.
         if record.spoof_preserve:
@@ -914,162 +1295,95 @@ class SubfarmRouter:
                                 orig_port, proto)
 
         if proto == PROTO_UDP:
-            def client_to_dst(packet):
-                datagram = packet.payload
-                record.last_activity = sim.now
-                record.c2s_packets += 1
-                record.c2s_bytes += len(datagram.payload)
-                out = datagram.rebind(orig_port, dst_port)
-                counters["packets_relayed"] += 1
-                m_packets.inc()
-                emit_dst(IPv4Packet.wrap(dst_src_ip, dst_dst_ip, out,
-                                         PROTO_UDP))
-
-            def dst_to_client(packet):
-                record.last_activity = sim.now
-                record.s2c_packets += 1
-                payload = packet.payload.payload
-                record.s2c_bytes += len(payload)
-                out = UDPDatagram(resp_port, orig_port, payload)
-                emit_client(IPv4Packet.wrap(resp_ip, orig_ip, out,
-                                            PROTO_UDP))
-
-            return [(orig, client_to_dst), (dst_key, dst_to_client)]
+            return [
+                FlowEntry(self._fp_key(orig), ACT_UDP_C2D, record,
+                          orig_port, dst_port, dst_src_ip, dst_dst_ip,
+                          emit_code=dst_code, emit_arg=dst_arg,
+                          shaped=shaped, installed_at=now,
+                          idle_timeout=idle, hard_timeout=hard),
+                FlowEntry(self._fp_key(dst_key), ACT_UDP_D2C, record,
+                          resp_port, orig_port, resp_ip, orig_ip,
+                          emit_code=client_code, emit_arg=client_arg,
+                          shaped=shaped, installed_at=now,
+                          idle_timeout=idle, hard_timeout=hard),
+            ]
 
         isn_delta = record.isn_delta
         c2s_inj = record.c2s_inj
-
-        def client_to_dst(packet):
-            segment = packet.payload
-            flags = segment.flags
-            if flags & 0x06:  # SYN or RST: state-changing
-                dispatch(record, packet, orig)
-                return
-            record.last_activity = sim.now
-            record.c2s_packets += 1
-            record.c2s_bytes += len(segment.payload)
-            ack = ((segment.ack - isn_delta) & 0xFFFFFFFF
-                   if flags & ACK else segment.ack)
-            out = segment.rebind(orig_port, dst_port, segment.seq, ack)
-            counters["packets_relayed"] += 1
-            m_packets.inc()
-            emit_dst(IPv4Packet.wrap(dst_src_ip, dst_dst_ip, out, PROTO_TCP))
-
-        def dst_to_client(packet):
-            segment = packet.payload
-            record.last_activity = sim.now
-            record.s2c_packets += 1
-            if segment.payload:
-                record.s2c_bytes += len(segment.payload)
-            ack = ((segment.ack - c2s_inj) & 0xFFFFFFFF
-                   if segment.flags & ACK else segment.ack)
-            out = segment.rebind(resp_port, orig_port,
-                                 (segment.seq + isn_delta) & 0xFFFFFFFF, ack)
-            counters["packets_relayed"] += 1
-            m_packets.inc()
-            emit_client(IPv4Packet.wrap(resp_ip, orig_ip, out, PROTO_TCP))
-
-        return [(orig, client_to_dst), (dst_key, dst_to_client)]
+        return [
+            FlowEntry(self._fp_key(orig), ACT_TCP_C2D, record,
+                      orig_port, dst_port, dst_src_ip, dst_dst_ip,
+                      seq_delta=0, ack_delta=(-isn_delta) & 0xFFFFFFFF,
+                      emit_code=dst_code, emit_arg=dst_arg,
+                      shaped=shaped, installed_at=now,
+                      idle_timeout=idle, hard_timeout=hard),
+            FlowEntry(self._fp_key(dst_key), ACT_TCP_D2C, record,
+                      resp_port, orig_port, resp_ip, orig_ip,
+                      seq_delta=isn_delta,
+                      ack_delta=(-c2s_inj) & 0xFFFFFFFF,
+                      emit_code=client_code, emit_arg=client_arg,
+                      shaped=shaped, installed_at=now,
+                      idle_timeout=idle, hard_timeout=hard),
+        ]
 
     def _compile_rewrite(self, record: FlowRecord):
-        """Handlers for REWRITE flows, which stay coupled to the
-        containment server for life."""
-        sim = self.sim
-        counters = self.counters
-        m_packets = self._m_packets
-        dispatch = self._dispatch_known
-        # Toward-CS emissions go through the fault seam; the wrapper
-        # re-reads shim_link_faults per call, so compiled handlers stay
-        # valid whether or not a fault view is installed.
-        emit_to_service = self._emit_to_cs
+        """Entries for REWRITE flows, which stay coupled to the
+        containment server for life.  Toward-CS rules emit on EMIT_CS
+        (the shim-link fault seam is re-read per packet)."""
         orig = record.orig
         orig_ip, orig_port = orig.orig_ip, orig.orig_port
         resp_ip, resp_port = orig.resp_ip, orig.resp_port
         cs_ip = record.cs_ip
         mux = record.mux_port
-        emit_client = self._compile_client_emit(record)
+        client_code, client_arg = self._client_emit_plan(record)
+        shaped = record.shaper is not None
+        now = self.sim.now
+        idle = self.flowtable_idle_timeout
+        hard = self.flowtable_hard_timeout
 
         if orig.proto == PROTO_UDP:
-            cs_udp_port = self.cs_udp_port
-            m_shims_injected = self._m_shims_injected
             shim_bytes = RequestShim(orig, record.vlan,
                                      record.nonce_port).to_bytes()
-
-            def client_to_cs(packet):
-                datagram = packet.payload
-                record.last_activity = sim.now
-                record.c2s_packets += 1
-                record.c2s_bytes += len(datagram.payload)
-                wrapped = UDPDatagram(mux, cs_udp_port,
-                                      shim_bytes + datagram.payload)
-                counters["shims_injected"] += 1
-                m_shims_injected.inc()
-                emit_to_service(cs_ip, IPv4Packet(orig_ip, cs_ip, wrapped))
-
             # Return datagrams carry a response shim each and must be
             # parsed, so the CS->client direction stays on the slow path.
-            return [(orig, client_to_cs)]
+            return [FlowEntry(self._fp_key(orig), ACT_UDP_C2CS, record,
+                              mux, self.cs_udp_port, orig_ip, cs_ip,
+                              emit_code=EMIT_CS, emit_arg=cs_ip,
+                              payload_prefix=shim_bytes,
+                              installed_at=now, idle_timeout=idle,
+                              hard_timeout=hard)]
 
-        cs_tcp_port = self.cs_tcp_port
         c2s_inj = record.c2s_inj
         s2c_rem = record.s2c_rem
-        server_from_cs = self._server_packet_from_cs
-        cs_key = FiveTuple(cs_ip, cs_tcp_port, orig_ip, mux, PROTO_TCP)
-
-        def client_to_cs(packet):
-            segment = packet.payload
-            flags = segment.flags
-            if flags & 0x06:  # SYN or RST: state-changing
-                dispatch(record, packet, orig)
-                return
-            record.last_activity = sim.now
-            record.c2s_packets += 1
-            record.c2s_bytes += len(segment.payload)
-            if flags & FIN:
-                record.client_fin = True
-            ack = ((segment.ack + s2c_rem) & 0xFFFFFFFF
-                   if flags & ACK else 0)
-            out = segment.rebind(mux, cs_tcp_port,
-                                 (segment.seq + c2s_inj) & 0xFFFFFFFF, ack)
-            counters["packets_relayed"] += 1
-            m_packets.inc()
-            emit_to_service(cs_ip, IPv4Packet.wrap(orig_ip, cs_ip, out,
-                                                   PROTO_TCP))
-
-        def cs_to_client(packet):
-            segment = packet.payload
-            record.s2c_packets += 1
-            if segment.flags & RST:  # server abort: slow path
-                server_from_cs(record, segment)
-                return
-            ack = ((segment.ack - c2s_inj) & 0xFFFFFFFF
-                   if segment.flags & ACK else segment.ack)
-            out = segment.rebind(resp_port, orig_port,
-                                 (segment.seq - s2c_rem) & 0xFFFFFFFF, ack)
-            counters["packets_relayed"] += 1
-            m_packets.inc()
-            emit_client(IPv4Packet.wrap(resp_ip, orig_ip, out, PROTO_TCP))
-            if segment.payload:
-                record.s2c_bytes += len(segment.payload)
-
-        return [(orig, client_to_cs), (cs_key, cs_to_client)]
+        cs_key = FiveTuple(cs_ip, self.cs_tcp_port, orig_ip, mux,
+                           PROTO_TCP)
+        return [
+            FlowEntry(self._fp_key(orig), ACT_TCP_C2CS, record,
+                      mux, self.cs_tcp_port, orig_ip, cs_ip,
+                      seq_delta=c2s_inj, ack_delta=s2c_rem,
+                      emit_code=EMIT_CS, emit_arg=cs_ip,
+                      installed_at=now, idle_timeout=idle,
+                      hard_timeout=hard),
+            FlowEntry(self._fp_key(cs_key), ACT_TCP_CS2C, record,
+                      resp_port, orig_port, resp_ip, orig_ip,
+                      seq_delta=(-s2c_rem) & 0xFFFFFFFF,
+                      ack_delta=(-c2s_inj) & 0xFFFFFFFF,
+                      emit_code=client_code, emit_arg=client_arg,
+                      shaped=shaped, installed_at=now,
+                      idle_timeout=idle, hard_timeout=hard),
+        ]
 
     def _compile_dropped(self, record: FlowRecord):
-        """Terminal-phase handler: touch and swallow, except TCP SYNs
+        """Terminal-phase rule: touch and swallow, except TCP SYNs
         which may be a new incarnation of the tuple."""
-        sim = self.sim
-        dispatch = self._dispatch_known
         orig = record.orig
-        if orig.proto == PROTO_TCP:
-            def handler(packet):
-                if packet.payload.flags & SYN:
-                    dispatch(record, packet, orig)
-                    return
-                record.last_activity = sim.now
-        else:
-            def handler(packet):
-                record.last_activity = sim.now
-        return [(orig, handler)]
+        kind = ACT_DROP_TCP if orig.proto == PROTO_TCP else ACT_DROP_UDP
+        return [FlowEntry(self._fp_key(orig), kind, record,
+                          orig.orig_port, orig.resp_port,
+                          orig.orig_ip, orig.resp_ip,
+                          installed_at=self.sim.now,
+                          idle_timeout=self.flowtable_idle_timeout,
+                          hard_timeout=self.flowtable_hard_timeout)]
 
     # ------------------------------------------------------------------
     # Client-side relay
@@ -1581,9 +1895,13 @@ class SubfarmRouter:
                               local, record.orig.orig_port, PROTO_TCP)
             self._index[alias] = record
             record.index_keys.append(alias)
-            # If another flow had compiled a handler on this tuple, the
-            # index now routes it here — drop the stale handler.
-            self._fastpath.pop(self._fp_key(alias), None)
+            # If another flow had compiled a rule on this tuple, the
+            # index now routes it here — drop the stale entry.  (Its
+            # owner's fast_keys retains the key, which is harmless: the
+            # uninstall path identity-checks entry.record.)
+            stale = self._fastpath.pop(self._fp_key(alias), None)
+            if stale is not None:
+                self.flowtable.evictions += 1
         out = segment.copy()
         out.sport = record.orig.orig_port
         src = record.nat_global or record.orig.orig_ip
@@ -1773,9 +2091,31 @@ class SubfarmRouter:
 
     def _housekeep(self) -> None:
         self._housekeeping_armed = False
+        self.sweep_flowtable()
         self.expire_idle_flows(self.flow_idle_timeout)
         if self.active_flow_count() > 0:
             self._arm_housekeeping()
+
+    def sweep_flowtable(self) -> int:
+        """Evict flow-table entries whose idle/hard timeout has passed.
+
+        The probe only ages entries that traffic still touches; this
+        sweep (riding the existing housekeeping event, so the event
+        schedule is unchanged) reclaims rules for flows that went
+        quiet.  Returns the number of flows whose rules were evicted.
+        """
+        table = self.flowtable
+        if not table.entries:
+            return 0
+        now = self.sim.now
+        swept = 0
+        for entry in table.expired_entries(now):
+            # A flow's first expired entry evicts all of its rules, so
+            # re-check liveness before timing out the next one.
+            if table.entries.get(entry.key) is entry:
+                self._fastpath_timeout(entry, now)
+                swept += 1
+        return swept
 
     def expire_idle_flows(self, max_idle: float) -> int:
         """Evict demux state for flows idle longer than ``max_idle``.

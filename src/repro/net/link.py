@@ -32,6 +32,11 @@ class Port:
         self.link: Optional["Link"] = None
         self.frames_sent = 0
         self.frames_received = 0
+        # Batch coalescing: set to the owning Simulator to let this
+        # port claim all same-instant deliveries queued behind the one
+        # firing and hand them to the owner's receive_frame_batch in
+        # one call.  None (the default) keeps scalar delivery.
+        self.coalesce: Optional[Simulator] = None
 
     @property
     def connected(self) -> bool:
@@ -45,6 +50,26 @@ class Port:
         self.link.transmit(self, frame)
 
     def deliver(self, frame: EthernetFrame) -> None:
+        sim = self.coalesce
+        if sim is not None:
+            more = sim.drain_coincident(self.deliver)
+            if more:
+                receive_batch = getattr(self.owner, "receive_frame_batch",
+                                        None)
+                if receive_batch is not None:
+                    frames = [frame]
+                    frames.extend(args[0] for args in more)
+                    self.frames_received += len(frames)
+                    receive_batch(frames, self)
+                    return
+                # Owner cannot batch: replay the claimed frames
+                # individually, preserving order.
+                self.frames_received += 1 + len(more)
+                receive = getattr(self.owner, "receive_frame")
+                receive(frame, self)
+                for args in more:
+                    receive(args[0], self)
+                return
         self.frames_received += 1
         receive = getattr(self.owner, "receive_frame")
         receive(frame, self)
@@ -62,6 +87,7 @@ class Link:
         port_a: Port,
         port_b: Port,
         latency: float = 0.0005,
+        batch_window: Optional[float] = None,
     ) -> None:
         if port_a.link is not None or port_b.link is not None:
             raise RuntimeError("port already linked")
@@ -69,6 +95,13 @@ class Link:
         self.port_a = port_a
         self.port_b = port_b
         self.latency = latency
+        # Coalescing window (virtual seconds).  A positive window
+        # quantizes delivery times up to the next window boundary, so
+        # frames in flight during the same window arrive at the same
+        # instant and a coalescing receiver (Port.coalesce) batches
+        # them.  0.0 or None leaves per-frame timing untouched — with a
+        # coalescing receiver, only naturally coincident frames merge.
+        self.batch_window = batch_window
         self.frames_carried = 0
         port_a.link = self
         port_b.link = self
@@ -76,6 +109,12 @@ class Link:
     def transmit(self, from_port: Port, frame: EthernetFrame) -> None:
         peer = self.port_b if from_port is self.port_a else self.port_a
         self.frames_carried += 1
+        window = self.batch_window
+        if window:
+            when = self.sim.now + self.latency
+            self.sim.schedule_at(-(-when // window) * window, peer.deliver,
+                                 frame, label="link-deliver")
+            return
         self.sim.schedule(self.latency, peer.deliver, frame, label="link-deliver")
 
     def disconnect(self) -> None:

@@ -63,6 +63,26 @@ def internet_checksum(data: bytes) -> int:
     return (~_ones_complement_sum(data)) & 0xFFFF
 
 
+def ones_complement_sum(data: bytes) -> int:
+    """Public entry to the folded 16-bit one's-complement sum.
+
+    The batched serializer (repro.net.wirebatch) computes this once per
+    run over the invariant bytes (pseudo-header, flags/window header
+    fields, payload), then folds in only the per-packet seq/ack words —
+    one's-complement addition is associative, so the result is
+    bit-identical to checksumming each packet in full.
+    """
+    return _ones_complement_sum(data)
+
+
+def fold_checksum(total: int) -> int:
+    """Finish an accumulated one's-complement word sum into an RFC 1071
+    checksum value (fold carries, complement, mask)."""
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
 def _validate_tcp_options(options: bytes) -> None:
     """Walk the TCP option TLVs; malformed lengths raise ParseError.
 
@@ -335,6 +355,31 @@ _IPV4_HEADER_MEMO: Dict[Tuple[int, int, int, int, int, int], bytes] = {}
 _IPV4_HEADER_MEMO_MAX = 8192
 
 
+def checksummed_ipv4_header(src: IPv4Address, dst: IPv4Address, proto: int,
+                            ttl: int, ident: int, total_len: int) -> bytes:
+    """The 20-byte checksummed IPv4 header for the given fields.
+
+    Shared (and memoized) between IPv4Packet.to_bytes and the batched
+    serializer: a run of same-flow packets with equal payload lengths
+    pays the pack + checksum exactly once.
+    """
+    key = (src.value, dst.value, proto, ttl, ident, total_len)
+    header = _IPV4_HEADER_MEMO.get(key)
+    if header is None:
+        header = struct.pack(
+            "!BBHHHBBH4s4s",
+            (4 << 4) | 5,  # version 4, IHL 5
+            0, total_len, ident, 0,
+            ttl, proto, 0,
+            src.to_bytes(), dst.to_bytes(),
+        )
+        checksum = internet_checksum(header)
+        header = header[:10] + struct.pack("!H", checksum) + header[12:]
+        if len(_IPV4_HEADER_MEMO) < _IPV4_HEADER_MEMO_MAX:
+            _IPV4_HEADER_MEMO[key] = header
+    return header
+
+
 class IPv4Packet:
     """An IPv4 packet carrying TCP, UDP, or opaque bytes."""
 
@@ -409,24 +454,12 @@ class IPv4Packet:
             body = self.payload.to_bytes(self.src, self.dst)
         else:
             body = bytes(self.payload)
-        total_len = 20 + len(body)
-        # The checksummed header is a pure function of these six fields;
-        # memoize it so repeated flows skip the pack + checksum.
-        key = (self.src.value, self.dst.value, self.proto, self.ttl,
-               self.ident, total_len)
-        header = _IPV4_HEADER_MEMO.get(key)
-        if header is None:
-            header = struct.pack(
-                "!BBHHHBBH4s4s",
-                (4 << 4) | 5,  # version 4, IHL 5
-                0, total_len, self.ident, 0,
-                self.ttl, self.proto, 0,
-                self.src.to_bytes(), self.dst.to_bytes(),
-            )
-            checksum = internet_checksum(header)
-            header = header[:10] + struct.pack("!H", checksum) + header[12:]
-            if len(_IPV4_HEADER_MEMO) < _IPV4_HEADER_MEMO_MAX:
-                _IPV4_HEADER_MEMO[key] = header
+        # The checksummed header is a pure function of six fields;
+        # checksummed_ipv4_header memoizes so repeated flows skip the
+        # pack + checksum.
+        header = checksummed_ipv4_header(self.src, self.dst, self.proto,
+                                         self.ttl, self.ident,
+                                         20 + len(body))
         return header + body
 
     @classmethod

@@ -70,6 +70,10 @@ class ActivityReport:
         # subfarm name -> malice-barrier summary (only for subfarms
         # whose barrier rejected at least one input).
         self.malformed: Dict[str, dict] = {}
+        # subfarm name -> match-action flow-table summary (only for
+        # subfarms that installed at least one rule — a fastpath-off
+        # run renders exactly as before).
+        self.flowtables: Dict[str, dict] = {}
         # Decision-journal snapshot (repro.obs.journal) backing the
         # "Decision audit" section; attached explicitly because the
         # journal is farm-wide, not per-subfarm.
@@ -118,6 +122,11 @@ class ActivityReport:
         barrier = getattr(subfarm.router, "barrier", None)
         if barrier is not None and barrier.parse_errors:
             self.malformed[subfarm.name] = barrier.summary()
+        flowtable = getattr(subfarm.router, "flowtable", None)
+        if flowtable is not None and flowtable.installs:
+            summary = flowtable.stats()
+            summary["entries"] = flowtable.snapshot()
+            self.flowtables[subfarm.name] = summary
 
     # ------------------------------------------------------------------
     def verdict_totals(self) -> Dict[str, int]:
@@ -317,6 +326,40 @@ def render_report(report: ActivityReport, telemetry=None,
             for key in sorted(summary["by_vlan_protocol"]):
                 lines.append(
                     f"  {key:<24} {summary['by_vlan_protocol'][key]:>6}")
+            lines.append("")
+    if report.flowtables:
+        header = "Flow tables"
+        lines.append(header)
+        lines.append("=" * len(header))
+        lines.append("")
+        for name in sorted(report.flowtables):
+            summary = report.flowtables[name]
+            timeouts = summary["timeout_evictions"]
+            lines.append(f"Subfarm '{name}'")
+            lines.append(
+                f"  occupancy {summary['occupancy']:>6}   "
+                f"hits {summary['hits']:>8}   "
+                f"misses {summary['misses']:>6}   "
+                f"installs {summary['installs']:>6}")
+            lines.append(
+                f"  evictions {summary['evictions']:>6}   "
+                f"idle timeouts {timeouts['idle']:>6}   "
+                f"hard timeouts {timeouts['hard']:>6}")
+            entries = summary["entries"]
+            if entries:
+                lines.append(
+                    f"  {'action':<10} {'vlan':>4} {'verdict':<16} "
+                    f"{'hits':>8} {'emit':<8} match")
+                for entry in entries:
+                    match = entry["match"]
+                    match_text = (
+                        f"{IPv4Address(match['src'])}:{match['sport']} "
+                        f"-> {IPv4Address(match['dst'])}:{match['dport']}")
+                    lines.append(
+                        f"  {entry['action']:<10} {entry['vlan']:>4} "
+                        f"{entry['verdict'] or '-':<16} "
+                        f"{entry['hits']:>8} {entry['emit']:<8} "
+                        f"{match_text}")
             lines.append("")
     journal_snapshot = journal if journal is not None else report.journal
     if journal_snapshot is not None and journal_snapshot.get("events"):

@@ -307,6 +307,40 @@ class Simulator:
             depth_g.set(len(queue))
         return self._now
 
+    def drain_coincident(self, callback: Callable[..., None]) -> List[tuple]:
+        """Pop every consecutive head event due *now* for ``callback``
+        and return their argument tuples, in scheduling order.
+
+        This is the batch-coalescing primitive: a component whose
+        callback is firing can claim the other deliveries scheduled for
+        the same virtual instant and process them together.  Only a
+        consecutive head run is taken — the first event with a
+        different time or callback stops the scan — so the exact
+        scalar execution order is preserved for everything left queued.
+        Drained events are accounted as fired (they did run, just
+        inside the claimant's batch), keeping event counters identical
+        to unbatched execution.
+        """
+        queue = self._queue
+        drained: List[tuple] = []
+        heappop = heapq.heappop
+        now = self._now
+        while queue:
+            head = queue[0]
+            if head.cancelled:
+                heappop(queue)
+                self._dead -= 1
+                self._m_cancelled.inc()
+                continue
+            if head.time != now or head.callback != callback:
+                break
+            heappop(queue)
+            head._sim = None
+            drained.append(head.args)
+            self.events_processed += 1
+            self._m_fired.inc()
+        return drained
+
     def step(self) -> bool:
         """Run a single event.  Returns False if the queue is empty.
 
