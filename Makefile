@@ -2,7 +2,7 @@ PYTHON ?= python
 WORKERS ?= 2
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-parallel chaos-quick fuzz-quick obs-quick paper-benches
+.PHONY: test bench bench-quick bench-parallel bench-parallel-quick chaos-quick fuzz-quick obs-quick paper-benches
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -12,6 +12,14 @@ bench:
 
 bench-parallel:
 	$(PYTHON) benchmarks/bench_parallel_scaling.py
+
+# Multi-host smoke: the same campaign dispatched to a localhost
+# `python -m repro.parallel.worker` agent over TCP (SocketTransport);
+# exits 1 on serial-vs-socket digest drift or a crash-isolation
+# violation across the socket (docs/PARALLELISM.md, "Multi-host
+# dispatch").
+bench-parallel-quick:
+	$(PYTHON) benchmarks/bench_parallel_scaling.py --quick-socket --workers $(WORKERS)
 
 # Determinism smoke: same-seed replay + fast/slow-path digest parity,
 # plus the batched datapath gates — ingest_batch wire/counter/stat

@@ -13,6 +13,13 @@ docs/PARALLELISM.md) and prints a JSON summary to stdout::
 ``--seeds a..b`` is an inclusive range; a comma list (``1,5,9``) also
 works.
 
+``--hosts h1:9000,h2:9000`` dispatches shards to running
+``python -m repro.parallel.worker`` agents instead of the local pool;
+``--scheduler static`` swaps adaptive work stealing for contiguous
+chunks; ``--topology farm.json`` (streaming-farm) compiles a
+FarmTopology file into a placement and derives the campaign — and the
+agent endpoints — from it.
+
 ``--snapshot PATH`` writes the experiment's merged telemetry snapshot
 to a JSON file; ``--journal PATH`` writes the merged decision journal
 (docs/OBSERVABILITY.md) — on ``streaming-farm`` it also turns shard
@@ -95,33 +102,59 @@ def _run_gateway_load_sweep(args) -> dict:
     result = run_gateway_load_sweep(
         seeds=args.seeds, count=args.count, base_seed=args.seed,
         subfarms=args.subfarms, inmates_per=args.inmates_per,
-        duration=args.duration, workers=args.workers)
+        duration=args.duration, workers=args.workers,
+        hosts=args.hosts, scheduler=args.scheduler)
     return _campaign_summary(result)
+
+
+def _load_topology(path: str):
+    """``--topology FILE`` → a compiled Placement (compile errors are
+    structured and fatal)."""
+    from repro.parallel.topology import FarmTopology
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return FarmTopology.from_dict(json.load(handle)).compile()
 
 
 def _run_streaming_farm(args) -> dict:
     from repro.parallel import Campaign, run_campaign
 
-    campaign = Campaign.seed_sweep(
-        "streaming-farm-sweep",
-        "repro.parallel.tasks:streaming_farm_shard",
-        params={"subfarms": args.subfarms, "inmates": args.inmates_per,
-                "duration": args.duration,
-                # --journal turns shard journaling on so the campaign
-                # merge has journals to fold (determinism digests are
-                # unchanged either way).
-                "journal": bool(getattr(args, "journal", None))},
-        seeds=args.seeds,
-        count=None if args.seeds is not None else args.count,
-        base_seed=args.seed)
-    return _campaign_summary(run_campaign(campaign, workers=args.workers))
+    hosts = args.hosts
+    if args.topology:
+        placement = _load_topology(args.topology)
+        campaign = placement.campaign(
+            "repro.parallel.tasks:streaming_farm_shard",
+            params={"duration": args.duration,
+                    "journal": bool(getattr(args, "journal", None))},
+            base_seed=args.seed)
+        # The compiled placement names the worker agents; an explicit
+        # --hosts still wins (e.g. re-running a placement locally).
+        hosts = hosts or (placement.endpoints() or None)
+    else:
+        campaign = Campaign.seed_sweep(
+            "streaming-farm-sweep",
+            "repro.parallel.tasks:streaming_farm_shard",
+            params={"subfarms": args.subfarms,
+                    "inmates": args.inmates_per,
+                    "duration": args.duration,
+                    # --journal turns shard journaling on so the
+                    # campaign merge has journals to fold (determinism
+                    # digests are unchanged either way).
+                    "journal": bool(getattr(args, "journal", None))},
+            seeds=args.seeds,
+            count=None if args.seeds is not None else args.count,
+            base_seed=args.seed)
+    return _campaign_summary(run_campaign(
+        campaign, workers=args.workers, hosts=hosts,
+        scheduler=args.scheduler))
 
 
 def _run_smtp_strictness(args) -> dict:
     from repro.experiments.smtp_strictness import run_matrix
 
     matrix = run_matrix(duration=args.duration, seed=args.seed,
-                        workers=args.workers)
+                        workers=args.workers, hosts=args.hosts,
+                        scheduler=args.scheduler)
     return {
         "experiment": "smtp-strictness",
         "duration": args.duration,
@@ -140,7 +173,8 @@ def _run_containment_tradeoff(args) -> dict:
     from repro.experiments.containment_tradeoff import run_all_regimes
 
     regimes = run_all_regimes(duration=args.duration, seed=args.seed,
-                              workers=args.workers)
+                              workers=args.workers, hosts=args.hosts,
+                              scheduler=args.scheduler)
     return {
         "experiment": "containment-tradeoff",
         "duration": args.duration,
@@ -162,7 +196,8 @@ def _run_fault_matrix(args) -> dict:
 
     result = run_matrix(seeds=args.seeds, base_seed=args.seed,
                         duration=args.duration, workers=args.workers,
-                        timeout=600.0)
+                        timeout=600.0, hosts=args.hosts,
+                        scheduler=args.scheduler)
     return summarize(result)
 
 
@@ -219,6 +254,20 @@ def build_parser() -> argparse.ArgumentParser:
         cmd = sub.add_parser(name, help=help_text)
         cmd.add_argument("--workers", type=int, default=1,
                          help="worker processes (1 = serial in-process)")
+        cmd.add_argument("--hosts", default=None, metavar="H:P,H:P",
+                         help="comma-separated worker-agent endpoints "
+                              "(python -m repro.parallel.worker); "
+                              "shards dispatch over TCP instead of "
+                              "the local pool")
+        cmd.add_argument("--scheduler", choices=("steal", "static"),
+                         default="steal",
+                         help="shard scheduler: adaptive work "
+                              "stealing (default) or static "
+                              "contiguous chunks")
+        cmd.add_argument("--topology", metavar="FILE", default=None,
+                         help="compile a FarmTopology JSON file into "
+                              "a placement and derive the campaign "
+                              "from it (streaming-farm only)")
         cmd.add_argument("--seeds", type=parse_seeds, default=None,
                          metavar="A..B",
                          help="inclusive seed range or comma list")

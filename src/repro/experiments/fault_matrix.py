@@ -244,12 +244,14 @@ def build_matrix_campaign(scenarios=None, seeds=None, base_seed: int = 11,
 def run_matrix(scenarios=None, seeds=None, base_seed: int = 11,
                subfarms: int = 2, inmates: int = 3, rounds: int = 30,
                duration: float = 120.0, workers: int = 1,
-               timeout: Optional[float] = None):
+               timeout: Optional[float] = None, hosts=None,
+               scheduler: str = "steal"):
     campaign = build_matrix_campaign(
         scenarios, seeds, base_seed=base_seed, subfarms=subfarms,
         inmates=inmates, rounds=rounds, duration=duration,
         timeout=timeout)
-    return run_campaign(campaign, workers=workers)
+    return run_campaign(campaign, workers=workers, hosts=hosts,
+                        scheduler=scheduler)
 
 
 def summarize(result) -> dict:

@@ -213,11 +213,14 @@ def run_gateway_load_sweep(
     flow_interval: float = 5.0,
     duration: float = 120.0,
     workers: int = 1,
+    hosts=None,
+    scheduler: str = "steal",
 ):
     """The paper's operating point as a seed sweep: N independent
     whole-farm gateway-load runs fanned out across a worker pool
-    (``workers=1`` = hermetic serial fallback) and merged
-    deterministically — see docs/PARALLELISM.md."""
+    (``workers=1`` = hermetic serial fallback; ``hosts`` = worker-agent
+    endpoints for multi-host dispatch) and merged deterministically —
+    see docs/PARALLELISM.md."""
     from repro.parallel import Campaign, run_campaign
 
     campaign = Campaign.seed_sweep(
@@ -233,7 +236,8 @@ def run_gateway_load_sweep(
         count=None if seeds is not None else count,
         base_seed=base_seed,
     )
-    return run_campaign(campaign, workers=workers)
+    return run_campaign(campaign, workers=workers, hosts=hosts,
+                        scheduler=scheduler)
 
 
 def vlan_capacity_demo() -> Dict[str, int]:

@@ -106,7 +106,9 @@ def _cell_from_payload(payload: dict) -> StrictnessCell:
 
 
 def run_matrix(duration: float = 600.0, seed: int = 11,
-               workers: int = 1) -> Dict[Tuple[str, str], StrictnessCell]:
+               workers: int = 1, hosts=None,
+               scheduler: str = "steal"
+               ) -> Dict[Tuple[str, str], StrictnessCell]:
     """The full family × strictness matrix, one farm per cell.
 
     Cells are independent whole-farm runs, so they fan out across a
@@ -128,7 +130,8 @@ def run_matrix(duration: float = 600.0, seed: int = 11,
         base_seed=seed,
         labels=[f"{cell['family']}/{cell['strictness']}" for cell in grid],
     )
-    result = run_campaign(campaign, workers=workers)
+    result = run_campaign(campaign, workers=workers, hosts=hosts,
+                          scheduler=scheduler)
     if not result.ok:
         raise RuntimeError(
             f"strictness matrix shards failed: {result.failures}")

@@ -81,16 +81,28 @@ def label_snapshot(snap: dict, **labels: str) -> dict:
     return out
 
 
+def _source_name(sources: Optional[List[str]], position: int) -> str:
+    if sources is not None and position < len(sources):
+        return sources[position]
+    return f"snapshot {position}"
+
+
 def merge_snapshots(snaps: List[dict],
-                    labels: Optional[List[Dict[str, str]]] = None) -> dict:
+                    labels: Optional[List[Dict[str, str]]] = None,
+                    sources: Optional[List[str]] = None) -> dict:
     """Merge shard snapshots into one labeled campaign snapshot.
 
     ``labels[i]`` (e.g. ``{"shard": "3"}``) is applied to ``snaps[i]``
     before the union; omit it only when identities are already
-    disjoint.  Raises ``ValueError`` on identity collisions.
+    disjoint.  ``sources[i]`` (e.g. ``"shard 3 @ hostB:9000"``) names
+    where ``snaps[i]`` came from, for error messages only.  Raises
+    ``ValueError`` on identity collisions, naming both colliding
+    sources.
     """
     if labels is not None and len(labels) != len(snaps):
         raise ValueError("need exactly one label set per snapshot")
+    if sources is not None and len(sources) != len(snaps):
+        raise ValueError("need exactly one source name per snapshot")
     merged: dict = {
         "schema": None,
         "enabled": False,
@@ -102,6 +114,7 @@ def merge_snapshots(snaps: List[dict],
         "hub": {"published": 0, "retained": 0, "evicted": 0},
         "tracer": {"spans": 0, "traces": 0, "evicted": 0},
     }
+    origins: Dict[str, int] = {}  # identity -> contributing position
     for position, snap in enumerate(snaps):
         if labels is not None:
             snap = label_snapshot(snap, **labels[position])
@@ -119,8 +132,12 @@ def merge_snapshots(snaps: List[dict],
                 if identity in target:
                     raise ValueError(
                         f"identity collision while merging snapshots: "
-                        f"{identity!r} (pass labels= to disambiguate)")
+                        f"{identity!r} contributed by both "
+                        f"{_source_name(sources, origins[identity])} "
+                        f"and {_source_name(sources, position)} "
+                        f"(pass labels= to disambiguate)")
                 target[identity] = value
+                origins[identity] = position
         for group in ("hub", "tracer"):
             for key, value in snap.get(group, {}).items():
                 merged[group][key] = merged[group].get(key, 0) + value
@@ -152,18 +169,24 @@ def _label_journal(snap: dict, prefix: str) -> List[dict]:
 
 
 def merge_journals(snaps: List[dict],
-                   labels: Optional[List[Dict[str, str]]] = None) -> dict:
+                   labels: Optional[List[Dict[str, str]]] = None,
+                   sources: Optional[List[str]] = None) -> dict:
     """Merge per-shard journal snapshots into one causally-consistent
     campaign journal.
 
     ``labels[i]`` stamps shard *i*; duplicate shard label sets would
-    silently interleave two shards' causal chains, so they **raise**.
-    Events sort by ``(time, shard, per-shard seq)`` — a pure function
-    of the shard snapshots, so a serial and a parallel run of the same
-    campaign merge to byte-identical journals (digest parity).
+    silently interleave two shards' causal chains, so they **raise**,
+    naming the colliding label set and — when ``sources`` names where
+    each snapshot came from (``"shard 3 @ hostB:9000"``) — both source
+    hosts.  Events sort by ``(time, shard, per-shard seq)`` — a pure
+    function of the shard snapshots, so a serial and a parallel run of
+    the same campaign merge to byte-identical journals regardless of
+    arrival order or which host ran which shard (digest parity).
     """
     if labels is not None and len(labels) != len(snaps):
         raise ValueError("need exactly one label set per journal")
+    if sources is not None and len(sources) != len(snaps):
+        raise ValueError("need exactly one source name per journal")
     merged: dict = {
         "schema": None,
         "enabled": False,
@@ -174,7 +197,8 @@ def merge_journals(snaps: List[dict],
         "rings": {},
     }
     keyed = []
-    seen_prefixes = set()
+    seen_prefixes: Dict[str, int] = {}  # prefix -> contributing position
+    ring_origins: Dict[str, int] = {}
     for position, snap in enumerate(snaps):
         if merged["schema"] is None:
             merged["schema"] = snap.get("schema")
@@ -188,8 +212,11 @@ def merge_journals(snaps: List[dict],
         if prefix in seen_prefixes:
             raise ValueError(
                 f"duplicate shard labels while merging journals: "
-                f"{prefix!r} (labels must be unique per shard)")
-        seen_prefixes.add(prefix)
+                f"{prefix!r} used by both "
+                f"{_source_name(sources, seen_prefixes[prefix])} and "
+                f"{_source_name(sources, position)} "
+                f"(labels must be unique per shard)")
+        seen_prefixes[prefix] = position
         merged["enabled"] = merged["enabled"] or bool(snap.get("enabled"))
         merged["time"] = max(merged["time"], snap.get("time", 0.0))
         merged["recorded"] += snap.get("recorded", 0)
@@ -201,8 +228,12 @@ def merge_journals(snaps: List[dict],
             identity = f"{prefix}/{name}"
             if identity in merged["rings"]:
                 raise ValueError(
-                    f"ring collision while merging journals: {identity!r}")
+                    f"ring collision while merging journals: {identity!r} "
+                    f"contributed by both "
+                    f"{_source_name(sources, ring_origins[identity])} and "
+                    f"{_source_name(sources, position)}")
             merged["rings"][identity] = snap["rings"][name]
+            ring_origins[identity] = position
     keyed.sort(key=lambda pair: pair[0])
     merged["events"] = [event for _, event in keyed]
     merged["rings"] = dict(sorted(merged["rings"].items()))

@@ -119,20 +119,38 @@ class CampaignResult:
 
 
 def merge_results(campaign, shard_results, workers: int,
-                  wall_seconds: float) -> CampaignResult:
-    """Aggregate shard payloads into the campaign-level view."""
+                  wall_seconds: float,
+                  hosts: Optional[Dict[str, dict]] = None,
+                  scheduler_stats: Optional[dict] = None
+                  ) -> CampaignResult:
+    """Aggregate shard payloads into the campaign-level view.
+
+    ``hosts`` is the scheduling-honesty record: per worker host, the
+    ``host_cpus``/``sched_cpus`` its workers reported in their
+    ``ready`` frames plus how many workers ran there — persisted under
+    ``merged["hosts"]`` so a result file states the hardware its
+    wall-clock numbers were measured on.  ``scheduler_stats`` (the
+    ``parallel.*`` dispatch/steal counters) lands under
+    ``merged["scheduler"]``.  Neither enters the campaign digest: the
+    digest covers shard payloads only, so it stays byte-identical
+    across serial, local, and socket runs of the same spec.
+    """
     merged: dict = {"shards_ok": 0, "shards_failed": 0}
     metrics: Dict[str, float] = {}
     snapshots = []
     snapshot_labels = []
+    snapshot_sources = []
     journals = []
     journal_labels = []
+    journal_sources = []
     for result in sorted(shard_results, key=lambda r: r.index):
         if not result.ok:
             merged["shards_failed"] += 1
             continue
         merged["shards_ok"] += 1
         payload = result.payload or {}
+        source = f"shard {result.index}" + (
+            f" @ {result.host}" if getattr(result, "host", None) else "")
         for name, value in (payload.get("metrics") or {}).items():
             if isinstance(value, (int, float)):
                 metrics[name] = metrics.get(name, 0) + value
@@ -140,22 +158,31 @@ def merge_results(campaign, shard_results, workers: int,
         if isinstance(telemetry, dict):
             snapshots.append(telemetry)
             snapshot_labels.append({"shard": str(result.index)})
+            snapshot_sources.append(source)
         journal = payload.get("journal")
         if isinstance(journal, dict):
             journals.append(journal)
             journal_labels.append({"shard": str(result.index)})
+            journal_sources.append(source)
     merged["metrics"] = dict(sorted(metrics.items()))
+    if hosts:
+        merged["hosts"] = {host: dict(info)
+                           for host, info in sorted(hosts.items())}
+    if scheduler_stats:
+        merged["scheduler"] = scheduler_stats
     if snapshots:
         from repro.obs.merge import merge_snapshots
 
         merged["telemetry"] = merge_snapshots(snapshots,
-                                              labels=snapshot_labels)
+                                              labels=snapshot_labels,
+                                              sources=snapshot_sources)
     if journals:
         from repro.obs.journal import journal_digest
         from repro.obs.merge import merge_journals
 
         merged["journal"] = merge_journals(journals,
-                                           labels=journal_labels)
+                                           labels=journal_labels,
+                                           sources=journal_sources)
         merged["journal_digest"] = journal_digest(merged["journal"])
     return CampaignResult(campaign.name, campaign.spec_digest(),
                           list(shard_results), workers, wall_seconds,

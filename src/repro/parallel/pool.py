@@ -1,74 +1,98 @@
-"""The sharded campaign runner: a spawn-safe warm worker pool.
+"""The sharded campaign runner: an adaptive scheduler over pluggable
+worker transports.
 
 Design (mirrors the farm itself: independent habitats, one merge
 point):
 
-* **Spawn-safe.**  Workers are started with the ``spawn`` start
-  method, so each worker is a fresh interpreter that imports shard
-  tasks by name — no reliance on fork-inherited state, identical
-  behaviour on Linux/macOS/Windows, and no risk of a forked copy of a
-  half-built farm.
-* **Warm reuse.**  A worker stays alive across shards; the interpreter
-  and ``repro`` import cost is paid once per worker, not per shard.
-* **Chunked batching.**  Shards are dispatched in chunks to bound
-  round-trip chatter on large campaigns; chunking never changes
-  results because shards are independent and the merge orders by
-  index.
-* **Crash isolation.**  Every worker owns a private duplex pipe.  A
-  worker announces each shard (``start``) before executing it, so when
-  a worker dies — crash, OOM-kill, or the pool enforcing a shard
-  timeout — the master knows exactly which shard was in flight: that
-  shard fails with a structured error, the unstarted remainder of its
-  chunk is requeued, and a replacement worker is spawned.  A dead
-  worker fails its shard, never the campaign.
-* **Serial fallback.**  ``workers=1`` (or 0) runs every shard in-process
-  through the *same* execution function workers use — no subprocess,
-  no pipes — so tests stay hermetic and digests comparable.
+* **Transport-agnostic.**  The scheduler talks to
+  :class:`repro.parallel.transport.WorkerHandle` slots.
+  ``LocalTransport`` is the warm spawn-based process pool;
+  ``SocketTransport`` reaches ``python -m repro.parallel.worker`` host
+  agents over length-prefixed JSON frames (``hosts=`` or an explicit
+  ``transport=``).  Digests are byte-identical across transports
+  because the JSON round trip has been the wire contract since the
+  pool existed.
+* **Work stealing, not static chunks.**  The default scheduler
+  (``scheduler="steal"``) keeps one shared shard queue and dispatches
+  a single shard per idle slot: fast workers automatically drain the
+  work a slow host would otherwise straggle.  Per-worker EWMA
+  shard-cost estimates feed a deficit counter (faster-than-average
+  workers accumulate first claim on the queue) and, once the queue is
+  dry, **speculative re-dispatch**: a tail shard that has been running
+  far beyond its worker's estimate is duplicated onto an idle slot and
+  the first completion wins — results are unchanged because shards are
+  deterministic, so the twin's payload is byte-identical.
+  ``scheduler="static"`` keeps the classic contiguous pre-partition
+  (one block per worker) for comparison; the scaling benchmark records
+  both.
+* **Crash isolation.**  A worker announces each shard before executing
+  it, so when a slot dies — crash, OOM-kill, or the scheduler
+  enforcing a shard timeout — the master knows exactly which shard was
+  in flight: that shard fails with a structured error (unless a
+  speculative twin is still running it), the unstarted remainder of a
+  static chunk is requeued, and a replacement slot is launched under a
+  bounded respawn budget.  A dead worker fails its shard, never the
+  campaign.
+* **Round-trip timeouts.**  Per-shard timeouts are measured on the
+  master's monotonic clock around the full transport round trip
+  (serialize → dispatch → result).  Before killing a slot the
+  scheduler drains its connection once more, so a result that is
+  already on the wire of a slow link is recorded as the success it is,
+  never misreported as a ``timeout`` failure.
+* **Scheduling honesty.**  Every worker's ``ready`` frame reports its
+  host's ``host_cpus``/``sched_cpus``; the merge persists them per
+  host in the campaign metadata and the runner emits a one-line
+  warning when a host runs more workers than schedulable cpus.
+* **Serial fallback.**  ``workers=1`` (or 0) with no transport runs
+  every shard in-process through the *same* execution function workers
+  use (:func:`repro.parallel.worker.execute_spec`) — no subprocess, no
+  pipes — so tests stay hermetic and digests comparable.
 
-Wall-clock timeouts are only enforceable when shards run in
-subprocesses; the serial path documents rather than enforces them.
+Wall-clock timeouts are only enforceable when shards run in worker
+slots; the serial path documents rather than enforces them.
 """
 
 from __future__ import annotations
 
-import json
+import socket as socket_module
 import time
-import traceback
+import warnings
 from collections import deque
 from typing import Dict, List, Optional
 
-from repro.parallel.campaign import Campaign, ShardSpec, resolve_task
+from repro.parallel.campaign import Campaign, ShardSpec
 from repro.parallel.merge import CampaignResult, merge_results
+from repro.parallel.worker import execute_spec, host_info
 
 __all__ = [
     "ShardResult",
     "run_campaign",
-    "DEFAULT_CHUNK_FACTOR",
+    "SCHEDULERS",
 ]
 
-# Chunks per worker the auto chunk size aims for: small enough that a
-# late straggler cannot hold a whole campaign's tail, large enough to
-# amortize dispatch round trips.
-DEFAULT_CHUNK_FACTOR = 4
+SCHEDULERS = ("steal", "static")
 
-# True only inside a spawned worker process.  Worker-process faults
-# (repro.faults) behave destructively there — os._exit, a real hang —
-# and degrade to structured failures on the serial path so the test
-# process itself never dies.
-_IN_WORKER = False
+# EWMA smoothing for per-worker shard-cost estimates.
+EWMA_ALPHA = 0.4
+# A tail shard becomes a speculation candidate once it has run this
+# many times its worker's estimated cost (and at least the floor).
+SPECULATION_FACTOR = 2.0
+SPECULATION_FLOOR_SECONDS = 0.2
 
 
 class ShardResult:
     """Outcome of one shard: payload on success, structured error not
     an exception on failure (``kind``: error | payload | timeout |
-    crash | pool)."""
+    crash | pool).  ``worker`` is the slot id, ``host`` the worker
+    host that produced (or lost) the shard."""
 
     __slots__ = ("index", "label", "ok", "payload", "error", "seconds",
-                 "worker")
+                 "worker", "host")
 
     def __init__(self, index: int, label: str, ok: bool,
                  payload: Optional[dict], error: Optional[dict],
-                 seconds: float, worker: Optional[int] = None) -> None:
+                 seconds: float, worker: Optional[int] = None,
+                 host: Optional[str] = None) -> None:
         self.index = index
         self.label = label
         self.ok = ok
@@ -76,6 +100,7 @@ class ShardResult:
         self.error = error
         self.seconds = seconds
         self.worker = worker
+        self.host = host
 
     def to_dict(self) -> dict:
         return {
@@ -86,145 +111,12 @@ class ShardResult:
             "error": self.error,
             "seconds": round(self.seconds, 6),
             "worker": self.worker,
+            "host": self.host,
         }
 
     def __repr__(self) -> str:
         state = "ok" if self.ok else (self.error or {}).get("kind", "failed")
         return f"<ShardResult {self.index} {self.label} {state}>"
-
-
-# ----------------------------------------------------------------------
-# Shard execution — shared by the serial path and worker processes
-# ----------------------------------------------------------------------
-def _execute_spec(spec_dict: dict) -> dict:
-    """Run one shard spec; always returns a structured result dict."""
-    started = time.perf_counter()
-
-    def failure(kind: str, exc: BaseException) -> dict:
-        return {
-            "ok": False,
-            "payload": None,
-            "error": {
-                "kind": kind,
-                "message": f"{type(exc).__name__}: {exc}",
-                "traceback": traceback.format_exc(limit=20),
-            },
-            "seconds": time.perf_counter() - started,
-        }
-
-    fault = spec_dict.get("fault")
-    if fault is not None:
-        outcome = _apply_worker_fault(fault, started)
-        if outcome is not None:
-            return outcome
-
-    try:
-        fn = resolve_task(spec_dict["task"])
-        payload = fn(**spec_dict.get("params", {}))
-    except Exception as exc:  # noqa: BLE001 — becomes a structured error
-        return failure("error", exc)
-    try:
-        if not isinstance(payload, dict):
-            raise TypeError(
-                f"shard task returned {type(payload).__name__}, "
-                "expected a JSON-safe dict")
-        # The JSON round trip is the wire contract: whatever crosses
-        # process boundaries must survive it, so enforce it in both
-        # the serial and subprocess paths for identical behaviour.
-        payload = json.loads(json.dumps(payload))
-    except Exception as exc:  # noqa: BLE001
-        return failure("payload", exc)
-    return {"ok": True, "payload": payload, "error": None,
-            "seconds": time.perf_counter() - started}
-
-
-def _apply_worker_fault(fault: dict, started: float) -> Optional[dict]:
-    """Enact a worker-process fault stamped onto a shard spec.
-
-    In a real worker the crash and hang are genuine (the pool's crash
-    isolation and timeout machinery must recover); on the serial path
-    they degrade to the structured failure the pool would eventually
-    record, so running with ``workers=1`` stays hermetic.
-    """
-    kind = fault.get("kind")
-    if kind == "worker_crash":
-        if _IN_WORKER:
-            import os
-
-            os._exit(int(fault.get("exitcode", 134)))
-        return {
-            "ok": False,
-            "payload": None,
-            "error": {"kind": "crash",
-                      "message": "injected worker crash (serial path)"},
-            "seconds": time.perf_counter() - started,
-        }
-    if kind == "worker_hang":
-        if _IN_WORKER:
-            time.sleep(float(fault.get("wall_seconds", 3600.0)))
-            return None  # killed long before this on any sane timeout
-        return {
-            "ok": False,
-            "payload": None,
-            "error": {"kind": "timeout",
-                      "message": "injected worker hang (serial path)"},
-            "seconds": time.perf_counter() - started,
-        }
-    if kind == "worker_error":
-        return {
-            "ok": False,
-            "payload": None,
-            "error": {"kind": "error",
-                      "message": str(fault.get("message",
-                                               "injected worker error"))},
-            "seconds": time.perf_counter() - started,
-        }
-    return None
-
-
-def _worker_main(conn, worker_id: int) -> None:
-    """Worker loop: receive chunks of spec dicts, announce and run each
-    shard, report results, idle until the next chunk or ``stop``."""
-    global _IN_WORKER
-    _IN_WORKER = True
-    try:
-        while True:
-            message = conn.recv()
-            if message[0] == "stop":
-                break
-            assert message[0] == "run", message
-            for spec_dict in message[1]:
-                conn.send(("start", spec_dict["index"]))
-                result = _execute_spec(spec_dict)
-                conn.send(("done", spec_dict["index"], result))
-            conn.send(("idle", worker_id))
-    except (EOFError, OSError, KeyboardInterrupt):
-        pass
-    finally:
-        try:
-            conn.close()
-        except OSError:
-            pass
-
-
-class _Worker:
-    """Master-side handle: process, pipe, and in-flight accounting."""
-
-    __slots__ = ("id", "proc", "conn", "chunk", "current", "started",
-                 "done")
-
-    def __init__(self, wid: int, proc, conn) -> None:
-        self.id = wid
-        self.proc = proc
-        self.conn = conn
-        self.chunk: Optional[List[dict]] = None  # specs last dispatched
-        self.current: Optional[int] = None       # shard index in flight
-        self.started: float = 0.0                # monotonic start time
-        self.done: set = set()
-
-    @property
-    def idle(self) -> bool:
-        return self.chunk is None
 
 
 # ----------------------------------------------------------------------
@@ -234,29 +126,90 @@ def run_campaign(campaign: Campaign, workers: int = 1,
                  chunk_size: Optional[int] = None,
                  default_timeout: Optional[float] = None,
                  max_respawns: Optional[int] = None,
-                 fault_plan=None) -> CampaignResult:
+                 fault_plan=None,
+                 transport=None,
+                 hosts=None,
+                 scheduler: str = "steal",
+                 speculate: bool = True) -> CampaignResult:
     """Run every shard of ``campaign`` and merge deterministically.
 
-    ``workers <= 1`` is the hermetic serial fallback (same execution
-    function, no subprocesses).  ``default_timeout`` applies to shards
-    whose spec does not set its own timeout.  ``fault_plan`` (a
+    ``workers <= 1`` with no transport is the hermetic serial fallback
+    (same execution function, no subprocesses).  ``hosts`` (a list of
+    ``"host:port"`` agent endpoints, or one comma-separated string)
+    selects :class:`~repro.parallel.transport.SocketTransport`; an
+    explicit ``transport=`` overrides both.  ``scheduler`` is
+    ``"steal"`` (adaptive work stealing, the default) or ``"static"``
+    (contiguous pre-partition; ``chunk_size`` overrides the block
+    size).  ``default_timeout`` applies to shards whose spec does not
+    set its own timeout.  ``fault_plan`` (a
     :class:`repro.faults.FaultPlan` or its dict form) stamps
     worker-process faults onto the matching shard specs.
     """
     from repro.faults.plan import FaultPlan
 
+    if scheduler not in SCHEDULERS:
+        raise ValueError(f"scheduler must be one of {SCHEDULERS}, "
+                         f"got {scheduler!r}")
     started = time.perf_counter()
     overlay = FaultPlan.coerce(fault_plan).worker_faults()
-    if workers <= 1 or len(campaign) <= 1:
+    owns_transport = False
+    if transport is None and hosts:
+        from repro.parallel.transport import SocketTransport
+
+        transport = SocketTransport(hosts)
+        owns_transport = True
+    if transport is None and (workers <= 1 or len(campaign) <= 1):
         shard_results = _run_serial(campaign, overlay)
+        info = host_info()
+        hosts_info = {info["host"]: {
+            "host_cpus": info["host_cpus"],
+            "sched_cpus": info["sched_cpus"],
+            "workers": 1,
+            "shards": len(shard_results),
+        }}
+        sched_stats = None
         effective_workers = 1
     else:
-        shard_results = _run_pool(campaign, workers, chunk_size,
-                                  default_timeout, max_respawns, overlay)
-        effective_workers = workers
+        if transport is None:
+            from repro.parallel.transport import LocalTransport
+
+            transport = LocalTransport()
+            owns_transport = True
+        try:
+            shard_results, hosts_info, sched_stats = _run_scheduled(
+                campaign, max(1, workers), transport,
+                scheduler=scheduler, chunk_size=chunk_size,
+                default_timeout=default_timeout,
+                max_respawns=max_respawns, overlay=overlay,
+                speculate=speculate)
+        finally:
+            if owns_transport:
+                transport.close()
+        effective_workers = max(1, workers)
+    _warn_oversubscribed(hosts_info)
     return merge_results(campaign, shard_results,
                          workers=effective_workers,
-                         wall_seconds=time.perf_counter() - started)
+                         wall_seconds=time.perf_counter() - started,
+                         hosts=hosts_info,
+                         scheduler_stats=sched_stats)
+
+
+def _warn_oversubscribed(hosts_info: Dict[str, dict]) -> None:
+    """One line of scheduling honesty: flag hosts running more workers
+    than schedulable cpus (speedups will not track worker count)."""
+    offenders = [
+        f"{host}: {info['workers']} workers > {info['sched_cpus']} "
+        f"schedulable cpus"
+        for host, info in sorted(hosts_info.items())
+        if info.get("sched_cpus") and info.get("workers", 0) > 1
+        and info["workers"] > info["sched_cpus"]
+    ]
+    if offenders:
+        warnings.warn(
+            "campaign oversubscribed — " + "; ".join(offenders)
+            + " (cpu-bound speedup will not track worker count; "
+              "see docs/PARALLELISM.md)",
+            RuntimeWarning, stacklevel=3)
 
 
 def _spec_dicts(campaign: Campaign, overlay: Dict[int, dict]) -> List[dict]:
@@ -272,196 +225,439 @@ def _spec_dicts(campaign: Campaign, overlay: Dict[int, dict]) -> List[dict]:
 
 def _run_serial(campaign: Campaign,
                 overlay: Dict[int, dict]) -> List[ShardResult]:
+    host = socket_module.gethostname()
     out = []
     for spec, spec_dict in zip(campaign, _spec_dicts(campaign, overlay)):
-        result = _execute_spec(spec_dict)
+        result = execute_spec(spec_dict)
         out.append(ShardResult(spec.index, spec.label, result["ok"],
                                result["payload"], result["error"],
-                               result["seconds"], worker=0))
+                               result["seconds"], worker=0, host=host))
     return out
 
 
-def _run_pool(campaign: Campaign, workers: int,
-              chunk_size: Optional[int],
-              default_timeout: Optional[float],
-              max_respawns: Optional[int],
-              overlay: Dict[int, dict]) -> List[ShardResult]:
-    import multiprocessing as mp
+# ----------------------------------------------------------------------
+# The scheduler
+# ----------------------------------------------------------------------
+class _Slot:
+    """Master-side view of one worker slot, any transport."""
+
+    __slots__ = ("handle", "chunk", "done", "current", "shard_clock",
+                 "ewma", "deficit", "completed", "busy_seconds",
+                 "speculative", "host_key")
+
+    def __init__(self, handle) -> None:
+        self.handle = handle
+        self.chunk: Optional[List[dict]] = None  # specs last dispatched
+        self.done: set = set()
+        self.current: Optional[int] = None       # last announced shard
+        self.shard_clock: float = 0.0            # monotonic, round-trip
+        self.ewma: Optional[float] = None        # est. shard cost (s)
+        self.deficit: float = 0.0
+        self.completed: int = 0
+        self.busy_seconds: float = 0.0
+        self.speculative: bool = False           # current dispatch a twin
+        self.host_key: Optional[str] = None      # set by the ready frame
+
+    @property
+    def idle(self) -> bool:
+        return self.chunk is None
+
+    def next_pending(self) -> Optional[dict]:
+        """The chunk spec currently executing (or next to): dispatch
+        order, skipping completed ones.  This is what a timeout or a
+        death is charged against — it does not rely on the ``start``
+        announcement having crossed a slow link yet."""
+        if not self.chunk:
+            return None
+        for spec in self.chunk:
+            if spec["index"] not in self.done:
+                return spec
+        return None
+
+
+def _run_scheduled(campaign: Campaign, workers: int, transport,
+                   scheduler: str,
+                   chunk_size: Optional[int],
+                   default_timeout: Optional[float],
+                   max_respawns: Optional[int],
+                   overlay: Dict[int, dict],
+                   speculate: bool):
     from multiprocessing.connection import wait as connection_wait
 
-    ctx = mp.get_context("spawn")
+    from repro.parallel.transport import TransportError
+
     specs: Dict[int, ShardSpec] = {s.index: s for s in campaign}
     total = len(specs)
     workers = min(workers, total)
-    if chunk_size is None:
-        chunk_size = max(1, total // (workers * DEFAULT_CHUNK_FACTOR) or 1)
     if max_respawns is None:
         max_respawns = total  # every shard may kill at most one worker
 
-    pending: deque = deque()
     ordered = _spec_dicts(campaign, overlay)
-    for at in range(0, total, chunk_size):
-        pending.append(ordered[at:at + chunk_size])
+    pending: deque = deque()
+    if scheduler == "static":
+        size = chunk_size or -(-total // workers)  # ceil
+        for at in range(0, total, size):
+            pending.append(ordered[at:at + size])
+    else:
+        pending.extend([spec] for spec in ordered)
 
     results: Dict[int, ShardResult] = {}
-    next_wid = 0
+    inflight: Dict[int, set] = {}       # index -> slots running it
+    speculated: set = set()             # indexes already twinned once
+    live_per_host: Dict[str, int] = {}
+    hosts_info: Dict[str, dict] = {}
+    stats = {
+        "mode": scheduler,
+        "transport": transport.kind,
+        "workers": workers,
+        "dispatches": 0,
+        "requeues": 0,
+        "respawns": 0,
+        "speculations": 0,
+        "speculation_wins": 0,
+        "stale_kills": 0,
+    }
+    active: List[_Slot] = []
+    all_slots: List[_Slot] = []
+    spawned_total = 0
     respawns_left = max_respawns
 
-    def spawn_worker() -> _Worker:
-        nonlocal next_wid
-        parent_conn, child_conn = ctx.Pipe(duplex=True)
-        proc = ctx.Process(target=_worker_main,
-                           args=(child_conn, next_wid),
-                           name=f"gq-shard-worker-{next_wid}",
-                           daemon=True)
-        proc.start()
-        child_conn.close()  # EOF on parent_conn when the child dies
-        worker = _Worker(next_wid, proc, parent_conn)
-        next_wid += 1
-        return worker
-
+    # ------------------------------------------------------------------
     def fail_shard(index: int, kind: str, message: str,
-                   worker_id: int) -> None:
+                   worker_id: int, host: Optional[str],
+                   seconds: float = 0.0) -> None:
         spec = specs[index]
         results[index] = ShardResult(
             index, spec.label, False, None,
-            {"kind": kind, "message": message}, 0.0, worker=worker_id)
+            {"kind": kind, "message": message}, seconds,
+            worker=worker_id, host=host)
 
-    def reap(worker: _Worker, kind: str, message: str) -> None:
-        """A worker died (crash) or was killed (timeout): fail the
-        in-flight shard, requeue the unstarted rest of its chunk."""
-        if worker.current is not None:
-            fail_shard(worker.current, kind, message, worker.id)
-        if worker.chunk:
-            leftover = [spec for spec in worker.chunk
-                        if spec["index"] not in results
-                        and spec["index"] not in worker.done]
+    def mean_cost() -> Optional[float]:
+        known = [s.ewma for s in all_slots if s.ewma is not None]
+        return sum(known) / len(known) if known else None
+
+    def record_ready(slot: _Slot, info: dict) -> None:
+        slot.handle.info = info
+        host = info.get("host") or slot.handle.host
+        slot.host_key = host
+        live_per_host[host] = live_per_host.get(host, 0) + 1
+        entry = hosts_info.setdefault(host, {
+            "host_cpus": info.get("host_cpus"),
+            "sched_cpus": info.get("sched_cpus"),
+            "workers": 0,
+            "shards": 0,
+        })
+        entry["workers"] = max(entry["workers"], live_per_host[host])
+
+    def record_done(slot: _Slot, index: int, result: dict) -> None:
+        slot.done.add(index)
+        slot.current = None
+        now = time.monotonic()
+        round_trip = now - slot.shard_clock
+        slot.shard_clock = now
+        slot.busy_seconds += round_trip
+        cost = result.get("seconds") or round_trip
+        slot.ewma = cost if slot.ewma is None \
+            else EWMA_ALPHA * cost + (1.0 - EWMA_ALPHA) * slot.ewma
+        slot.completed += 1
+        mean = mean_cost()
+        if mean is not None and slot.ewma is not None:
+            slot.deficit += max(0.0, mean - slot.ewma)
+        runners = inflight.get(index)
+        if runners is not None:
+            runners.discard(slot)
+        if slot.host_key and slot.host_key in hosts_info:
+            hosts_info[slot.host_key]["shards"] += 1
+        if index not in results:
+            results[index] = ShardResult(
+                index, specs[index].label, result["ok"],
+                result["payload"], result["error"], result["seconds"],
+                worker=slot.handle.id, host=slot.host_key)
+            if slot.speculative:
+                stats["speculation_wins"] += 1
+
+    def ingest(slot: _Slot, messages) -> None:
+        for message in messages:
+            tag = message[0]
+            if tag == "ready":
+                record_ready(slot, message[1])
+            elif tag == "start":
+                slot.current = message[1]
+            elif tag == "done":
+                record_done(slot, message[1], message[2])
+            elif tag == "idle":
+                slot.chunk = None
+                slot.done = set()
+                slot.current = None
+                slot.speculative = False
+
+    def release_slot(slot: _Slot) -> None:
+        if slot.host_key:
+            live_per_host[slot.host_key] = max(
+                0, live_per_host.get(slot.host_key, 1) - 1)
+
+    def reap(slot: _Slot, kind: Optional[str], message: str,
+             elapsed: float = 0.0,
+             charge_unannounced: bool = False) -> None:
+        """A slot died (crash) or was killed (timeout/stale): fail its
+        in-flight shard unless a twin still runs it, requeue the
+        unstarted rest of a static chunk.
+
+        A crash only *charges* the shard the worker had announced
+        (``start``) — a slot that dies before announcing anything gets
+        its whole chunk requeued, exactly like the chunked pool did.
+        Timeouts pass ``charge_unannounced=True``: the round-trip
+        clock covers dispatch itself, so an unannounced shard that
+        blew its deadline is a timeout, not a requeue.
+        """
+        failed = slot.next_pending()
+        if slot.chunk:
+            for spec in slot.chunk:
+                runners = inflight.get(spec["index"])
+                if runners is not None:
+                    runners.discard(slot)
+        charged = (failed is not None and kind is not None
+                   and (charge_unannounced
+                        or slot.current == failed["index"]))
+        if charged:
+            index = failed["index"]
+            if index not in results and not inflight.get(index):
+                fail_shard(index, kind, message, slot.handle.id,
+                           slot.host_key, seconds=elapsed)
+        if slot.chunk:
+            leftover = [
+                spec for spec in slot.chunk
+                if spec["index"] not in slot.done
+                and spec["index"] not in results
+                and not (charged and spec["index"] == failed["index"])
+                and not inflight.get(spec["index"])
+            ]
             if leftover:
                 pending.appendleft(leftover)
-        worker.chunk = None
-        worker.current = None
+                stats["requeues"] += len(leftover)
+        slot.chunk = None
+        slot.current = None
+        release_slot(slot)
+        slot.handle.kill()
+        slot.handle.close()
+
+    def dispatch(slot: _Slot, chunk: List[dict],
+                 speculative: bool = False) -> bool:
+        chunk = [spec for spec in chunk
+                 if spec["index"] not in results]
+        if not chunk:
+            return False
+        slot.chunk = chunk
+        slot.done = set()
+        slot.current = None
+        slot.speculative = speculative
+        # Round-trip clock starts at serialization time (satellite
+        # contract: serialize → dispatch → result on one monotonic
+        # clock); record_done re-arms it per shard within a chunk.
+        slot.shard_clock = time.monotonic()
         try:
-            worker.conn.close()
-        except OSError:
-            pass
-        if worker.proc.is_alive():
-            worker.proc.kill()
-        worker.proc.join(timeout=5.0)
+            slot.handle.send(("run", chunk))
+        except TransportError as exc:
+            reap(slot, "crash", str(exc))
+            if slot in active:
+                active.remove(slot)
+            return False
+        for spec in chunk:
+            inflight.setdefault(spec["index"], set()).add(slot)
+        stats["dispatches"] += 1
+        if speculative:
+            stats["speculations"] += 1
+        return True
 
-    active: List[_Worker] = [spawn_worker() for _ in range(workers)]
+    def launch_slot() -> Optional[_Slot]:
+        nonlocal spawned_total
+        try:
+            handle = transport.launch()
+        except TransportError:
+            return None
+        slot = _Slot(handle)
+        spawned_total += 1
+        active.append(slot)
+        all_slots.append(slot)
+        return slot
 
+    def idle_slots_by_priority() -> List[_Slot]:
+        """Deficit-based dispatch order: workers whose EWMA beats the
+        pool mean accumulated deficit — they get first claim, so fast
+        hosts drain the queue (and stragglers' leftovers) first."""
+        return sorted((s for s in active if s.idle),
+                      key=lambda s: (-s.deficit, s.ewma or 0.0,
+                                     s.handle.id))
+
+    # ------------------------------------------------------------------
     try:
         while len(results) < total:
-            # Keep the pool at strength while unassigned work remains.
-            while pending and respawns_left > 0 and len(active) < workers:
-                active.append(spawn_worker())
-                respawns_left -= 1
+            # Keep the pool at strength while unassigned work remains:
+            # the initial `workers` spawns are free, every further
+            # launch (replacement or retry after a failed launch)
+            # consumes the respawn budget so a dying pool terminates.
+            while pending and len(active) < workers and \
+                    (respawns_left > 0 or spawned_total < workers):
+                replacement = spawned_total >= workers
+                slot = launch_slot()
+                if slot is None:
+                    respawns_left -= 1
+                    if active or respawns_left <= 0:
+                        break
+                    continue
+                if replacement:
+                    respawns_left -= 1
+                    stats["respawns"] += 1
             if not active:
-                # Every worker died and the respawn budget is gone:
-                # fail whatever is left, structured, and finish.
+                # Every slot is gone and none can be launched: fail
+                # whatever is left, structured, and finish.
                 for index in specs:
                     if index not in results:
                         fail_shard(index, "pool",
                                    "worker pool exhausted its respawn "
-                                   "budget", -1)
+                                   "budget", -1, None)
                 break
 
-            # Dispatch chunks to idle workers.
-            for worker in list(active):
-                if worker.idle and pending:
-                    chunk = [spec for spec in pending.popleft()
-                             if spec["index"] not in results]
-                    if not chunk:
-                        continue
-                    worker.chunk = chunk
-                    worker.done = set()
-                    worker.current = None
-                    try:
-                        worker.conn.send(("run", chunk))
-                    except (OSError, BrokenPipeError):
-                        reap(worker, "crash",
-                             "worker died before accepting its chunk")
-                        active.remove(worker)
-                        respawns_left -= 1
+            # Dispatch work to idle slots, fastest-estimate first.
+            for slot in idle_slots_by_priority():
+                if not pending:
+                    break
+                dispatch(slot, pending.popleft())
+
+            # Tail speculation: queue dry, idle capacity, and a shard
+            # far beyond its worker's cost estimate still in flight.
+            if (speculate and scheduler == "steal" and not pending
+                    and len(results) < total):
+                _speculate_tail(active, inflight, results, specs,
+                                speculated, dispatch, mean_cost)
 
             if len(results) >= total:
                 break
 
-            busy = [worker for worker in active if not worker.idle]
+            busy = [slot for slot in active if not slot.idle]
             if not busy:
+                if not pending:
+                    # Defensive refill: no runner owns the remainder
+                    # (e.g. every twin died) — requeue what is missing.
+                    missing = [spec for spec in ordered
+                               if spec["index"] not in results
+                               and not inflight.get(spec["index"])]
+                    pending.extend([spec] for spec in missing)
+                    if not missing:
+                        continue
                 continue
 
-            ready = connection_wait([worker.conn for worker in busy],
-                                    timeout=0.05)
-            dead: List[_Worker] = []
-            for conn in ready:
-                worker = next(w for w in busy if w.conn is conn)
+            connection_wait([slot.handle.waitable for slot in busy],
+                            timeout=0.05)
+            dead: List[_Slot] = []
+            for slot in busy:
                 try:
-                    while worker.conn.poll():
-                        message = worker.conn.recv()
-                        tag = message[0]
-                        if tag == "start":
-                            worker.current = message[1]
-                            worker.started = time.monotonic()
-                        elif tag == "done":
-                            index, result = message[1], message[2]
-                            spec = specs[index]
-                            results[index] = ShardResult(
-                                index, spec.label, result["ok"],
-                                result["payload"], result["error"],
-                                result["seconds"], worker=worker.id)
-                            worker.done.add(index)
-                            worker.current = None
-                        elif tag == "idle":
-                            worker.chunk = None
-                            worker.done = set()
-                except (EOFError, OSError):
-                    dead.append(worker)
+                    ingest(slot, slot.handle.drain())
+                except TransportError as exc:
+                    dead.append((slot, str(exc)))
 
+            # Timeouts: full-round-trip monotonic clock per shard.
             now = time.monotonic()
-            for worker in list(active):
-                if worker in dead:
+            for slot in list(active):
+                if any(slot is candidate for candidate, _ in dead):
                     continue
-                if worker.current is None:
-                    # A worker that silently died between shards: its
+                spec = slot.next_pending()
+                if spec is None:
+                    # A slot that silently died between shards: its
                     # chunk simply gets requeued.
-                    if not worker.idle and not worker.proc.is_alive():
-                        dead.append(worker)
+                    if not slot.idle and not slot.handle.alive():
+                        dead.append((slot, "worker died between shards"))
                     continue
-                timeout = specs[worker.current].timeout
+                timeout = spec.get("timeout")
                 if timeout is None:
                     timeout = default_timeout
-                if timeout is not None and now - worker.started > timeout:
-                    index = worker.current
-                    worker.proc.kill()
-                    reap(worker, "timeout",
-                         f"shard exceeded its {timeout:.3f}s timeout "
-                         "and its worker was killed")
-                    active.remove(worker)
-                    dead = [w for w in dead if w is not worker]
-
-            for worker in dead:
-                if worker not in active:
+                if timeout is None or now - slot.shard_clock <= timeout:
                     continue
-                worker.proc.join(timeout=1.0)
-                exitcode = worker.proc.exitcode
-                reap(worker, "crash",
-                     f"worker process died (exitcode={exitcode})")
-                active.remove(worker)
-    finally:
-        for worker in active:
-            try:
-                worker.conn.send(("stop",))
-            except (OSError, BrokenPipeError):
-                pass
-        for worker in active:
-            worker.proc.join(timeout=2.0)
-            if worker.proc.is_alive():
-                worker.proc.kill()
-                worker.proc.join(timeout=2.0)
-            try:
-                worker.conn.close()
-            except OSError:
-                pass
+                # Final drain before judging: a result already on the
+                # wire of a slow link must be recorded as the success
+                # it is, not misreported as a timeout.
+                try:
+                    ingest(slot, slot.handle.drain())
+                except TransportError as exc:
+                    dead.append((slot, str(exc)))
+                    continue
+                spec = slot.next_pending()
+                if spec is None or now - slot.shard_clock <= timeout:
+                    continue
+                elapsed = now - slot.shard_clock
+                if spec["index"] in results:
+                    # Stale speculative twin overstaying: reclaim the
+                    # slot without failing anything.
+                    stats["stale_kills"] += 1
+                    reap(slot, None, "stale twin reclaimed", elapsed)
+                else:
+                    reap(slot, "timeout",
+                         f"shard exceeded its {timeout:.3f}s timeout "
+                         f"({elapsed:.3f}s round trip) and its worker "
+                         "was killed", elapsed, charge_unannounced=True)
+                active.remove(slot)
 
-    return [results[index] for index in sorted(results)]
+            for slot, message in dead:
+                if slot not in active:
+                    continue
+                reap(slot, "crash", message)
+                active.remove(slot)
+    finally:
+        for slot in active:
+            try:
+                slot.handle.send(("stop",))
+            except Exception:  # noqa: BLE001 — already dying
+                pass
+        for slot in active:
+            release_slot(slot)
+            slot.handle.close()
+
+    stats["per_worker"] = [
+        {
+            "worker": slot.handle.id,
+            "host": slot.host_key,
+            "shards": slot.completed,
+            "busy_seconds": round(slot.busy_seconds, 4),
+            "ewma_seconds": round(slot.ewma, 6)
+            if slot.ewma is not None else None,
+        }
+        for slot in all_slots
+    ]
+    shard_results = [results[index] for index in sorted(results)]
+    return shard_results, hosts_info, stats
+
+
+def _speculate_tail(active, inflight, results, specs, speculated,
+                    dispatch, mean_cost) -> None:
+    """Duplicate the most-overdue tail shard onto an idle slot."""
+    idle = [slot for slot in active if slot.idle]
+    if not idle:
+        return
+    now = time.monotonic()
+    mean = mean_cost()
+    candidates = []
+    for index, runners in inflight.items():
+        if index in results or index in speculated or not runners:
+            continue
+        if len(runners) > 1:
+            continue
+        (runner,) = runners
+        spec = runner.next_pending()
+        if spec is None or spec["index"] != index:
+            continue
+        if spec.get("fault") is not None:
+            continue  # deliberately-faulted shards are not re-run
+        estimate = runner.ewma if runner.ewma is not None else mean
+        if estimate is None:
+            continue  # no cost baseline anywhere yet
+        elapsed = now - runner.shard_clock
+        threshold = max(SPECULATION_FLOOR_SECONDS,
+                        SPECULATION_FACTOR * estimate)
+        if elapsed > threshold:
+            candidates.append((elapsed / max(estimate, 1e-9),
+                               index, spec))
+    candidates.sort(key=lambda item: -item[0])
+    for slot, (_, index, spec) in zip(idle, candidates):
+        twin = dict(spec)
+        if dispatch(slot, [twin], speculative=True):
+            speculated.add(index)

@@ -144,6 +144,56 @@ class TestJournalMergeEdges:
             merge_journals([a, b],
                            labels=[{"shard": "0"}, {"shard": "1"}])
 
+    def test_duplicate_labels_error_names_both_sources(self):
+        a = journal_snapshot([event(0, 1.0, "flow.created")])
+        b = journal_snapshot([event(0, 2.0, "flow.created")])
+        with pytest.raises(ValueError,
+                           match="duplicate shard labels") as excinfo:
+            merge_journals(
+                [a, b], labels=[{"shard": "4"}, {"shard": "4"}],
+                sources=["shard 4 @ hostA:9000",
+                         "shard 4 @ hostB:9000"])
+        message = str(excinfo.value)
+        assert "shard 4 @ hostA:9000" in message
+        assert "shard 4 @ hostB:9000" in message
+
+    def test_snapshot_collision_error_names_both_sources(self):
+        a = metric_snapshot(counters={"flows": 3})
+        b = metric_snapshot(counters={"flows": 5})
+        with pytest.raises(ValueError, match="collision") as excinfo:
+            merge_snapshots(
+                [a, b], labels=[{"shard": "0"}, {"shard": "0"}],
+                sources=["shard 0 @ hostA:9000",
+                         "shard 0 @ hostB:9000"])
+        message = str(excinfo.value)
+        assert "shard 0 @ hostA:9000" in message
+        assert "shard 0 @ hostB:9000" in message
+
+    def test_three_host_merge_is_arrival_order_independent(self):
+        # Three shards as if returned by three different hosts, merged
+        # in every arrival order: byte-identical journals each time.
+        import itertools
+
+        shards = [
+            (str(index), journal_snapshot(
+                [event(0, 1.0 + 0.1 * index, "flow.created",
+                       flow="f", vlan=index),
+                 event(1, 2.0 - 0.2 * index, "verdict.issued",
+                       flow="f", parent=0)]))
+            for index in range(3)
+        ]
+        renders = set()
+        for order in itertools.permutations(range(3)):
+            merged = merge_journals(
+                [shards[i][1] for i in order],
+                labels=[{"shard": shards[i][0]} for i in order],
+                sources=[f"shard {shards[i][0]} @ host{shards[i][0]}"
+                         for i in order])
+            renders.add(json.dumps(merged, sort_keys=True))
+        assert len(renders) == 1
+        only = json.loads(renders.pop())
+        assert len(only["events"]) == 6
+
     def test_live_journal_snapshots_round_trip_through_merge(self):
         clock = [0.0]
         journals = []

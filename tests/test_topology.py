@@ -1,0 +1,182 @@
+"""repro.parallel.topology: declarative farm-of-farms layouts lowered
+by compiler passes into a concrete, digest-stable placement."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.parallel.topology import (
+    DEFAULT_SERVICES,
+    FarmTopology,
+    HostSpec,
+    Placement,
+    TopologyError,
+)
+
+FARM_TASK = "repro.parallel.tasks:streaming_farm_shard"
+
+
+def two_host_topology(**overrides) -> FarmTopology:
+    kwargs = dict(
+        name="itest",
+        subfarms=4,
+        hosts=[HostSpec("alpha", "local", cpus=8),
+               HostSpec("beta", "10.0.0.2:9000", cpus=16,
+                        max_workers=4)],
+        subfarms_per_shard=2,
+    )
+    kwargs.update(overrides)
+    return FarmTopology(**kwargs)
+
+
+class TestCompile:
+    def test_all_passes_run_in_order(self):
+        placement = two_host_topology().compile()
+        assert placement.passes_used == [
+            "normalize", "validate_hosts", "assign_vlans",
+            "allocate_cs", "place_services", "pack_shards",
+            "validate_placement",
+        ]
+
+    def test_vlans_disjoint_and_sequential(self):
+        placement = FarmTopology("t", subfarms=3, vlan_base=200,
+                                 vlans_per_subfarm=2).compile()
+        vlans = [sf["vlans"] for sf in placement.subfarms]
+        assert vlans == [[200, 201], [202, 203], [204, 205]]
+
+    def test_cs_pool_and_service_placement(self):
+        placement = FarmTopology("t", subfarms=1,
+                                 cs_per_subfarm=2).compile()
+        (sf,) = placement.subfarms
+        assert sf["cs"] == ["cs-sf-0-0", "cs-sf-0-1"]
+        # Services round-robin over the pool.
+        assert set(sf["services"]) == set(DEFAULT_SERVICES)
+        assert set(sf["services"].values()) <= set(sf["cs"])
+
+    def test_shards_round_robin_over_hosts(self):
+        placement = two_host_topology().compile()
+        assert [sh["host"] for sh in placement.shards] == \
+            ["alpha", "beta"]
+        assert [sh["subfarms"] for sh in placement.shards] == \
+            [["sf-0", "sf-1"], ["sf-2", "sf-3"]]
+
+    def test_explicit_host_pin_wins(self):
+        placement = two_host_topology(
+            subfarm_specs=[{"host": "beta"}, {"host": "beta"}]).compile()
+        assert placement.shards[0]["host"] == "beta"
+
+    def test_endpoints_skip_local_hosts(self):
+        placement = two_host_topology().compile()
+        assert placement.endpoints() == ["10.0.0.2:9000"]
+
+
+class TestCompileErrors:
+    def test_overlapping_vlans_fail_at_compile_time(self):
+        topo = FarmTopology(
+            "bad", subfarms=2,
+            subfarm_specs=[{"vlans": [100, 101]},
+                           {"vlans": [101, 102]}])
+        with pytest.raises(TopologyError) as excinfo:
+            topo.compile()
+        (error,) = excinfo.value.errors
+        assert error["pass"] == "assign_vlans"
+        assert error["error"] == "vlan_overlap"
+        assert "101" in error["detail"]
+
+    def test_unknown_host_fails_at_compile_time(self):
+        topo = FarmTopology("bad", subfarms=1,
+                            subfarm_specs=[{"host": "ghost"}])
+        with pytest.raises(TopologyError) as excinfo:
+            topo.compile()
+        assert any(e["error"] == "unknown_host"
+                   for e in excinfo.value.errors)
+
+    def test_vlan_exhaustion_is_structured(self):
+        topo = FarmTopology("bad", subfarms=2, vlan_base=4094)
+        with pytest.raises(TopologyError) as excinfo:
+            topo.compile()
+        assert any(e["error"] == "vlan_exhausted"
+                   for e in excinfo.value.errors)
+
+    def test_duplicate_subfarm_names_rejected(self):
+        topo = FarmTopology("bad", subfarms=2,
+                            subfarm_specs=[{"name": "x"},
+                                           {"name": "x"}])
+        with pytest.raises(TopologyError) as excinfo:
+            topo.compile()
+        assert any(e["error"] == "duplicate_subfarm"
+                   for e in excinfo.value.errors)
+
+    def test_split_shard_pins_rejected(self):
+        topo = two_host_topology(
+            subfarm_specs=[{"host": "alpha"}, {"host": "beta"}])
+        with pytest.raises(TopologyError) as excinfo:
+            topo.compile()
+        assert any(e["error"] == "split_shard"
+                   for e in excinfo.value.errors)
+
+    def test_bad_host_address_rejected(self):
+        topo = FarmTopology("bad", subfarms=1,
+                            hosts=[HostSpec("h", "no-port-here")])
+        with pytest.raises(TopologyError) as excinfo:
+            topo.compile()
+        assert any(e["error"] == "bad_address"
+                   for e in excinfo.value.errors)
+
+
+class TestSerialization:
+    def test_topology_json_round_trip_stable_digest(self):
+        topo = two_host_topology()
+        clone = FarmTopology.from_dict(
+            json.loads(json.dumps(topo.to_dict())))
+        assert clone.to_dict() == topo.to_dict()
+        assert clone.spec_digest() == topo.spec_digest()
+
+    def test_placement_json_round_trip_stable_digest(self):
+        placement = two_host_topology().compile()
+        clone = Placement.from_dict(
+            json.loads(json.dumps(placement.to_dict())))
+        assert clone.to_dict() == placement.to_dict()
+        assert clone.digest() == placement.digest()
+
+    def test_unknown_topology_key_rejected(self):
+        with pytest.raises(TopologyError) as excinfo:
+            FarmTopology.from_dict({"name": "x", "subfarms": 1,
+                                    "vlans": [1]})
+        assert any(e["error"] == "unknown_key"
+                   for e in excinfo.value.errors)
+
+    def test_unknown_subfarm_key_rejected(self):
+        with pytest.raises(TopologyError):
+            FarmTopology.from_dict({
+                "name": "x", "subfarms": 1,
+                "subfarm_specs": [{"vlan": 100}],
+            })
+
+    def test_recompile_is_deterministic(self):
+        topo = two_host_topology()
+        assert topo.compile().digest() == topo.compile().digest()
+
+
+class TestPlacementCampaign:
+    def test_campaign_carries_placement_identity(self):
+        placement = two_host_topology(
+            inmates_per_subfarm=3).compile()
+        campaign = placement.campaign(FARM_TASK, base_seed=7)
+        assert len(campaign) == len(placement.shards)
+        assert campaign.metadata["placement_digest"] == \
+            placement.digest()
+        assert campaign.metadata["shard_hosts"] == \
+            {"0": "alpha", "1": "beta"}
+        for spec in campaign:
+            assert spec.params["subfarms"] == 2
+            assert spec.params["inmates"] == 3
+            assert isinstance(spec.params["seed"], int)
+
+    def test_campaign_spec_digest_stable(self):
+        placement = two_host_topology().compile()
+        first = placement.campaign(FARM_TASK, base_seed=7)
+        second = placement.campaign(FARM_TASK, base_seed=7)
+        assert first.spec_digest() == second.spec_digest()
