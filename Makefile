@@ -2,7 +2,7 @@ PYTHON ?= python
 WORKERS ?= 2
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-parallel bench-parallel-quick chaos-quick fuzz-quick obs-quick paper-benches
+.PHONY: test bench bench-quick bench-parallel bench-parallel-quick chaos-quick fuzz-quick obs-quick verify-quick paper-benches
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -49,6 +49,14 @@ fuzz-quick:
 # 10% of the journal-off rate (docs/OBSERVABILITY.md).
 obs-quick:
 	$(PYTHON) benchmarks/bench_obs_overhead.py --quick
+
+# Isolation-certificate gate: certify the golden-seed farm twice
+# (exhaustive reachability over the compiled decision surface must be
+# CONTAINED with a byte-stable certificate digest) plus one
+# fault-matrix scenario, cross-validated against its own runtime
+# journal and flow tables (docs/VERIFICATION.md).
+verify-quick:
+	$(PYTHON) -m repro.verify quick
 
 paper-benches:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -52,7 +52,23 @@ from repro.net.packet import PROTO_TCP, PROTO_UDP
 
 
 class DslError(ValueError):
-    """Malformed policy program."""
+    """Malformed policy program.
+
+    Structured for tooling (the isolation verifier and tests match on
+    these instead of parsing messages): ``reason`` is a stable
+    kebab-case tag (``missing-default``, ``duplicate-default``,
+    ``unknown-action``, ``bad-port-spec``, ``shadowed-rule``, ...),
+    ``line_number`` the 1-based program line (None for whole-program
+    errors), ``line`` the offending source text.
+    """
+
+    def __init__(self, message: str, reason: str = "syntax",
+                 line_number: Optional[int] = None,
+                 line: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.line_number = line_number
+        self.line = line
 
 
 class Action:
@@ -120,6 +136,38 @@ class Rule:
             return self.content_regex.match(data) is not None
         return True
 
+    def port_interval(self) -> tuple:
+        """The rule's port match as an inclusive ``(lo, hi)`` interval
+        (``(0, 65535)`` for ``any``) — the boundaries the isolation
+        verifier partitions the port space on."""
+        if self.port_lo is None:
+            return (0, 65535)
+        return (self.port_lo, self.port_hi)
+
+    def covers(self, other: "Rule") -> bool:
+        """Does this rule match *every* flow ``other`` matches?  Used
+        to reject programs whose later rules are unreachable (first
+        match wins, so a fully-shadowed rule is dead text — usually a
+        mis-ordering that silently changes the decision table)."""
+        if self.direction is not None and self.direction != other.direction:
+            return False
+        if self.proto is not None and self.proto != other.proto:
+            return False
+        lo, hi = self.port_interval()
+        other_lo, other_hi = other.port_interval()
+        if not (lo <= other_lo and other_hi <= hi):
+            return False
+        # Content: this rule must fire on any content the other would.
+        if self.content_prefix is not None:
+            if other.content_prefix is None:
+                return False
+            return other.content_prefix.startswith(self.content_prefix)
+        if self.content_regex is not None:
+            return (other.content_regex is not None
+                    and self.content_regex.pattern
+                    == other.content_regex.pattern)
+        return True
+
     def __repr__(self) -> str:
         return f"<Rule {self.line!r}>"
 
@@ -129,7 +177,8 @@ _PORT_RE = re.compile(r"^(\d+)(?:-(\d+))?/(tcp|udp)$")
 
 def _parse_action(tokens: List[str], line: str) -> Action:
     if not tokens:
-        raise DslError(f"missing action in: {line!r}")
+        raise DslError(f"missing action in: {line!r}",
+                       reason="missing-action", line=line)
     kind = tokens[0]
     rest = tokens[1:]
     if kind == "forward":
@@ -142,15 +191,18 @@ def _parse_action(tokens: List[str], line: str) -> Action:
         return Action("reflect", service=rest[0] if rest else "sink")
     if kind == "redirect":
         if not rest:
-            raise DslError(f"redirect needs a target in: {line!r}")
+            raise DslError(f"redirect needs a target in: {line!r}",
+                           reason="missing-target", line=line)
         ip_text, _, port_text = rest[0].partition(":")
         return Action("redirect", target_ip=IPv4Address(ip_text),
                       target_port=int(port_text) if port_text else None)
     if kind == "limit":
         if not rest:
-            raise DslError(f"limit needs a rate in: {line!r}")
+            raise DslError(f"limit needs a rate in: {line!r}",
+                           reason="missing-rate", line=line)
         return Action("limit", rate=float(rest[0]))
-    raise DslError(f"unknown action {kind!r} in: {line!r}")
+    raise DslError(f"unknown action {kind!r} in: {line!r}",
+                   reason="unknown-action", line=line)
 
 
 def parse_program(text: str) -> tuple:
@@ -162,14 +214,18 @@ def parse_program(text: str) -> tuple:
         if not line:
             continue
         if "->" not in line:
-            raise DslError(f"line {line_number}: expected 'match -> action'")
+            raise DslError(f"line {line_number}: expected 'match -> action'",
+                           reason="missing-arrow",
+                           line_number=line_number, line=line)
         match_text, _, action_text = line.partition("->")
         action = _parse_action(shlex.split(action_text.strip()), line)
         tokens = shlex.split(match_text.strip())
 
         if tokens and tokens[0] == "default":
             if default is not None:
-                raise DslError(f"line {line_number}: duplicate default")
+                raise DslError(f"line {line_number}: duplicate default",
+                               reason="duplicate-default",
+                               line_number=line_number, line=line)
             default = action
             continue
 
@@ -186,12 +242,15 @@ def parse_program(text: str) -> tuple:
                 index += 1
             elif token == "port":
                 if index + 1 >= len(tokens):
-                    raise DslError(f"line {line_number}: port needs a spec")
+                    raise DslError(f"line {line_number}: port needs a spec",
+                                   reason="bad-port-spec",
+                                   line_number=line_number, line=line)
                 spec = _PORT_RE.match(tokens[index + 1])
                 if spec is None:
                     raise DslError(
                         f"line {line_number}: bad port spec "
-                        f"{tokens[index + 1]!r}")
+                        f"{tokens[index + 1]!r}", reason="bad-port-spec",
+                        line_number=line_number, line=line)
                 port_lo = int(spec.group(1))
                 port_hi = int(spec.group(2) or port_lo)
                 proto = PROTO_TCP if spec.group(3) == "tcp" else PROTO_UDP
@@ -199,7 +258,9 @@ def parse_program(text: str) -> tuple:
             elif token == "content":
                 if index + 2 >= len(tokens) + 1:
                     raise DslError(f"line {line_number}: content needs "
-                                   "an operator and a pattern")
+                                   "an operator and a pattern",
+                                   reason="bad-content-spec",
+                                   line_number=line_number, line=line)
                 operator = tokens[index + 1]
                 pattern = tokens[index + 2]
                 if operator == "~":
@@ -208,16 +269,30 @@ def parse_program(text: str) -> tuple:
                     content_regex = re.compile(pattern.encode("latin-1"))
                 else:
                     raise DslError(f"line {line_number}: bad content "
-                                   f"operator {operator!r}")
+                                   f"operator {operator!r}",
+                                   reason="bad-content-spec",
+                                   line_number=line_number, line=line)
                 index += 3
             else:
                 raise DslError(
-                    f"line {line_number}: unexpected token {token!r}")
+                    f"line {line_number}: unexpected token {token!r}",
+                    reason="unexpected-token",
+                    line_number=line_number, line=line)
 
-        rules.append(Rule(direction, port_lo, port_hi, proto,
-                          content_prefix, content_regex, action, line))
+        rule = Rule(direction, port_lo, port_hi, proto,
+                    content_prefix, content_regex, action, line)
+        for earlier in rules:
+            if earlier.covers(rule):
+                raise DslError(
+                    f"line {line_number}: rule {line!r} is fully shadowed "
+                    f"by earlier rule {earlier.line!r} — first match wins, "
+                    "so this rule can never fire (mis-ordered policy?)",
+                    reason="shadowed-rule",
+                    line_number=line_number, line=line)
+        rules.append(rule)
     if default is None:
-        raise DslError("policy program needs a 'default -> action' clause")
+        raise DslError("policy program needs a 'default -> action' clause",
+                       reason="missing-default")
     return rules, default
 
 
@@ -290,3 +365,14 @@ class DslPolicy(ContainmentPolicy):
     def coverage(self) -> List[tuple]:
         """Per-rule hit counts — the policy-development feedback loop."""
         return [(rule.line, rule.hits) for rule in self.rules]
+
+    def describe(self) -> dict:
+        """Self-description for the isolation verifier: the program
+        text is the whole decision surface, so its digest pins the
+        policy identity inside a certificate."""
+        import hashlib
+        digest = hashlib.sha256(self.program.encode("utf-8")).hexdigest()
+        base = super().describe()
+        base.update({"kind": "dsl", "program_digest": digest,
+                     "rules": len(self.rules)})
+        return base

@@ -197,6 +197,17 @@ class ContainmentPolicy:
         return ContainmentDecision.rewrite(policy=self.policy_name,
                                            annotation=annotation)
 
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """Identity card for the isolation verifier's certificates.
+
+        Opaque (general-Python) policies carry no decision-surface
+        digest — the verifier falls back to concolic probing and marks
+        the resulting model inexact.  :class:`repro.core.dsl.DslPolicy`
+        overrides this with the program digest.
+        """
+        return {"policy": self.policy_name, "kind": "opaque"}
+
 
 # ----------------------------------------------------------------------
 # Registry (configuration files refer to policies by name — Figure 6)

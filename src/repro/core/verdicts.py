@@ -61,6 +61,17 @@ class Verdict(enum.IntFlag):
     def is_content_control(self) -> bool:
         return bool(self & Verdict.REWRITE)
 
+    @property
+    def grants_world(self) -> bool:
+        """True when the endpoint op sends the flow on to the
+        destination the inmate addressed — FORWARD or LIMIT — i.e. the
+        only verdicts that may open an inmate→world path on their own.
+        REDIRECT may still reach the world through its *target*; the
+        isolation verifier (:mod:`repro.verify`) classifies that case
+        by where the target address lives."""
+        return bool(self & (Verdict.FORWARD | Verdict.LIMIT)) and not (
+            self & (Verdict.DROP | Verdict.REDIRECT | Verdict.REFLECT))
+
     def validate(self) -> None:
         """Reject nonsensical combinations (e.g. DROP + REWRITE)."""
         endpoint_ops = [

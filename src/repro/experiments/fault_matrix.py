@@ -3,12 +3,16 @@
 Each cell runs :func:`fault_farm_shard` — the streaming whole-farm
 workload with the resilience layer enabled (verdict deadlines, CS
 failover pool, fail-closed pending policy) under one named fault
-scenario from :data:`SCENARIOS`.  Every cell checks the fail-closed
-property in-shard: an unverdicted flow must never appear on the
-upstream trace.  Because the fault plane draws all randomness from
-named RNG streams off the farm seed, identical seed + identical
-scenario ⇒ identical digest, which ``--quick`` asserts by running one
-cell twice.
+scenario from :data:`SCENARIOS`.  Every cell proves the fail-closed
+property in-shard two ways: an **isolation certificate**
+(:func:`repro.verify.certify_farm` — the static decision surface,
+fault windows included, explored exhaustively) and a runtime sweep
+(an unverdicted flow must never appear on the upstream trace; any
+that does is reported with its (vlan, dst, proto) tuple and checked
+against the certificate's grant table).  Because the fault plane
+draws all randomness from named RNG streams off the farm seed,
+identical seed + identical scenario ⇒ identical digest, which
+``--quick`` asserts by running one cell twice.
 
 CLI::
 
@@ -34,6 +38,7 @@ from repro.parallel.tasks import TARGET_IP, TARGET_PORT, _echo_server, \
 
 __all__ = [
     "SCENARIOS",
+    "build_fault_farm",
     "fault_farm_shard",
     "build_matrix_campaign",
     "run_matrix",
@@ -100,12 +105,14 @@ def _flow_seen_upstream(record, nat_global, upstream_records) -> bool:
     return False
 
 
-def _count_leaks(farm, subs) -> int:
-    """Fail-closed property: flows that never received a verdict (or
-    were closed out by the fail-closed pending policy) must not appear
-    upstream."""
+def _leak_details(farm, subs) -> List[dict]:
+    """Fail-closed property, runtime half: flows that never received a
+    verdict (or were closed out by the fail-closed pending policy)
+    must not appear upstream.  Each violation is returned with the
+    leaking flow's (vlan, dst, proto) tuple so the matrix summary can
+    name the path, not just count it."""
     upstream = farm.gateway.upstream_trace.records
-    leaks = 0
+    leaks: List[dict] = []
     for sub in subs:
         for record in sub.router._flows:
             decision = record.decision
@@ -117,8 +124,53 @@ def _count_leaks(farm, subs) -> int:
             if nat_global is None:
                 continue
             if _flow_seen_upstream(record, nat_global, upstream):
-                leaks += 1
+                leaks.append({
+                    "subfarm": sub.name,
+                    "vlan": record.vlan,
+                    "dst": str(record.orig.resp_ip),
+                    "proto": ("tcp" if record.orig.proto == PROTO_TCP
+                              else "udp"),
+                    "dport": record.orig.resp_port,
+                })
     return leaks
+
+
+def build_fault_farm(seed: int, scenario: str = "baseline",
+                     subfarms: int = 2, inmates: int = 3,
+                     rounds: int = 30, duration: float = 120.0,
+                     extra_cs: int = 1,
+                     verdict_deadline: float = 5.0,
+                     pending_policy: str = "drop",
+                     telemetry: bool = True):
+    """Build and run one resilient fault-scenario farm; returns the
+    completed farm (subfarms under ``farm.subfarms``).  Shared by
+    :func:`fault_farm_shard` and ``python -m repro.verify``."""
+    cell = SCENARIOS[scenario]
+    duration = cell.get("duration", duration)
+    config = FarmConfig(
+        seed=seed,
+        telemetry=telemetry,
+        fault_plan={"specs": cell["specs"]},
+        verdict_deadline=verdict_deadline,
+        pending_policy=pending_policy,
+    )
+    farm = Farm(config)
+    _echo_server(farm.add_external_host("echo", TARGET_IP))
+    for index in range(subfarms):
+        sub = farm.create_subfarm(f"fault-sub-{index}")
+        sub.set_default_policy(AllowAll())
+        if extra_cs > 0:
+            sub.add_containment_servers(extra_cs)
+        vlans = set()
+        for _ in range(inmates):
+            inmate = sub.create_inmate(
+                image_factory=_streaming_image(rounds))
+            vlans.add(inmate.vlan)
+        if cell.get("trigger"):
+            sub.trigger_engine.add_text(
+                f"*:{TARGET_PORT}/tcp / 30s < 1 -> revert", vlans)
+    farm.run(until=duration)
+    return farm
 
 
 def fault_farm_shard(seed: int, scenario: str = "baseline",
@@ -133,37 +185,18 @@ def fault_farm_shard(seed: int, scenario: str = "baseline",
     Same workload and digest recipe as
     :func:`repro.parallel.tasks.streaming_farm_shard`, plus: the
     scenario's fault plan installed, ``extra_cs`` standby containment
-    servers per subfarm, the fail-closed leak check, per-subfarm
-    resilience summaries, and the rendered report's degradation
-    section.
+    servers per subfarm, the certificate-backed leak check,
+    per-subfarm resilience summaries, and the rendered report's
+    degradation section.  The payload's determinism digest predates
+    the certificate fields, so certifying does not perturb replay
+    parity.
     """
-    cell = SCENARIOS[scenario]
-    duration = cell.get("duration", duration)
-    config = FarmConfig(
-        seed=seed,
-        telemetry=telemetry,
-        fault_plan={"specs": cell["specs"]},
-        verdict_deadline=verdict_deadline,
-        pending_policy=pending_policy,
-    )
-    farm = Farm(config)
-    _echo_server(farm.add_external_host("echo", TARGET_IP))
-    subs = []
-    for index in range(subfarms):
-        sub = farm.create_subfarm(f"fault-sub-{index}")
-        sub.set_default_policy(AllowAll())
-        if extra_cs > 0:
-            sub.add_containment_servers(extra_cs)
-        vlans = set()
-        for _ in range(inmates):
-            inmate = sub.create_inmate(
-                image_factory=_streaming_image(rounds))
-            vlans.add(inmate.vlan)
-        if cell.get("trigger"):
-            sub.trigger_engine.add_text(
-                f"*:{TARGET_PORT}/tcp / 30s < 1 -> revert", vlans)
-        subs.append(sub)
-    farm.run(until=duration)
+    farm = build_fault_farm(
+        seed, scenario=scenario, subfarms=subfarms, inmates=inmates,
+        rounds=rounds, duration=duration, extra_cs=extra_cs,
+        verdict_deadline=verdict_deadline, pending_policy=pending_policy,
+        telemetry=telemetry)
+    subs = list(farm.subfarms.values())  # creation order, digest-stable
 
     digest = hashlib.sha256()
     counters = {}
@@ -191,10 +224,16 @@ def fault_farm_shard(seed: int, scenario: str = "baseline",
                                  sort_keys=True).encode())
 
     from repro.reporting.report import ActivityReport, render_report
+    from repro.verify import certify_farm, check_farm
+
+    certificate = certify_farm(farm, label=f"{scenario}/s{seed}")
+    coverage = check_farm(certificate, farm)
 
     report = ActivityReport.from_subfarms(subs)
+    report.attach_certificate(certificate, coverage=coverage.to_dict())
     rendered = render_report(report)
 
+    leak_flows = _leak_details(farm, subs)
     return {
         "seed": seed,
         "scenario": scenario,
@@ -206,7 +245,13 @@ def fault_farm_shard(seed: int, scenario: str = "baseline",
         },
         "counters": counters,
         "resilience": resilience,
-        "leaks": _count_leaks(farm, subs),
+        "leaks": len(leak_flows),
+        "leak_flows": leak_flows,
+        # The proof artifact rides in the payload (outside the replay
+        # digest) so merge_results can fold shard certificates into
+        # one campaign certificate.
+        "certificate": certificate,
+        "coverage": coverage.to_dict(),
         "lifecycle": {
             "retries": len(farm.controller.retries_scheduled),
             "abandoned": len(farm.controller.abandoned),
@@ -263,10 +308,20 @@ def summarize(result) -> dict:
                               f"({(shard.error or {}).get('kind')})")
             continue
         payload = shard.payload
+        certificate = payload.get("certificate") or {}
+        coverage = payload.get("coverage") or {}
         cells[shard.label] = {
             "digest": payload["digest"],
             "flows_created": payload["metrics"]["flows_created"],
             "leaks": payload["leaks"],
+            "certificate": {
+                "result": certificate.get("result"),
+                "digest": certificate.get("digest"),
+                "exact": certificate.get("exact"),
+                "grants": len(certificate.get("grants", [])),
+            },
+            "coverage": {key: coverage.get(key, 0)
+                         for key in ("checked", "covered")},
             "degradation_reported": payload["degradation_reported"],
             "resilience": {
                 name: {key: summary[key] for key in
@@ -277,16 +332,41 @@ def summarize(result) -> dict:
             },
         }
         if payload["leaks"]:
+            paths = "; ".join(
+                f"(vlan={leak['vlan']}, dst={leak['dst']}:{leak['dport']}, "
+                f"proto={leak['proto']})"
+                for leak in payload.get("leak_flows", []))
             violations.append(
                 f"{shard.label}: {payload['leaks']} unverdicted flow(s) "
-                "leaked upstream")
+                f"leaked upstream{': ' + paths if paths else ''}")
+        if certificate.get("result") not in (None, "CONTAINED"):
+            path = (certificate.get("counterexample") or {}).get("path", {})
+            violations.append(
+                f"{shard.label}: isolation certificate is "
+                f"{certificate.get('result')} "
+                f"(src_vlan={path.get('src_vlan')}, dst={path.get('dst')}, "
+                f"proto={path.get('proto')})")
+        for entry in coverage.get("violations", []):
+            violations.append(
+                f"{shard.label}: uncovered {entry.get('source')} "
+                f"observation (vlan={entry.get('vlan')}, "
+                f"dst={entry.get('destination') or entry.get('dst')}, "
+                f"proto={entry.get('proto')})")
         if not payload["degradation_reported"]:
             violations.append(
                 f"{shard.label}: report missing degradation section")
+
+    from repro.verify import merge_certificates
+
+    campaign_certificate = merge_certificates(
+        [shard.payload.get("certificate")
+         for shard in result.shard_results if shard.ok],
+        label="fault-matrix")
     return {
         "experiment": "fault-matrix",
         "campaign_digest": result.digest,
         "cells": cells,
+        "certificate": campaign_certificate,
         "violations": violations,
     }
 

@@ -218,6 +218,63 @@ class FaultPlan:
                 out[int(spec.shard)] = spec.to_dict()
         return out
 
+    def verdict_outage_windows(self, subfarm: str,
+                               server_count: int = 1) -> List[dict]:
+        """Time windows during which the subfarm's verdict plane may be
+        unavailable, as ``{"start", "end", "kind"}`` dicts (``end`` is
+        ``None`` for an unbounded outage).
+
+        This is the fault-plan overlay the isolation verifier layers
+        over the static policy model: inside an outage window the
+        pending policy — not the containment policy — decides flows, so
+        a ``pending_policy="forward"`` subfarm has a fail-open grant
+        exactly here.  Conservative by design: a window is emitted when
+        the fault *could* starve verdicts, not only when it provably
+        does.
+
+        * Link faults (partition, lossy drop, delay past any deadline
+          cannot be judged here — delay is excluded) hit every server
+          at once: one window regardless of ``server_count``.
+        * Server faults only open a window when the plan takes out
+          every one of ``server_count`` servers for that period; a
+          single crashed server of two leaves the failover pool able to
+          answer, so no overlay.
+        """
+        windows: List[dict] = []
+        per_server: Dict[int, List[tuple]] = {}
+        for spec in self.for_subfarm(subfarm):
+            if spec.kind == "shim_partition" or (
+                    spec.kind == "shim_drop" and spec.probability > 0.0):
+                windows.append({"start": spec.start, "end": spec.end,
+                                "kind": spec.kind})
+            elif spec.kind == "cs_crash":
+                end = (spec.at + spec.restore_after
+                       if spec.restore_after is not None else None)
+                per_server.setdefault(spec.server, []).append(
+                    (spec.at, end, spec.kind))
+            elif spec.kind in ("cs_hang", "cs_slow"):
+                per_server.setdefault(spec.server, []).append(
+                    (spec.start, spec.end, spec.kind))
+        # Server faults: intersect across all servers — an outage only
+        # exists while *every* server is out.
+        if len(per_server) >= max(1, server_count) \
+                and all(index in per_server
+                        for index in range(server_count)):
+            for start, end, kind in per_server.get(0, []):
+                covered = all(
+                    any(o_start <= start
+                        and (o_end is None
+                             or (end is not None and end <= o_end))
+                        for o_start, o_end, _ in per_server[index])
+                    for index in range(1, server_count))
+                if covered:
+                    windows.append({"start": start, "end": end,
+                                    "kind": kind})
+        windows.sort(key=lambda w: (w["start"],
+                                    w["end"] if w["end"] is not None
+                                    else float("inf")))
+        return windows
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------

@@ -49,6 +49,7 @@ __all__ = [
     "CsFailoverPool",
     "ResilienceConfig",
     "RouterResilience",
+    "fail_open_possible",
     "HEALTHY",
     "SUSPECT",
     "DOWN",
@@ -59,6 +60,22 @@ SUSPECT = "suspect"
 DOWN = "down"
 
 PENDING_POLICIES = ("drop", "forward")
+
+
+def fail_open_possible(proto: int, handshake_complete: bool) -> bool:
+    """Can a verdict-starved flow fail open under
+    ``pending_policy="forward"``?
+
+    The single source of truth shared by the live router
+    (:meth:`RouterResilience._can_fail_open`) and the isolation
+    verifier's transition model (:mod:`repro.verify`): UDP always can;
+    a TCP flow only once its client handshake completed and the shim
+    was injected — before that there is no ISN mapping to hand off, so
+    the flow drops regardless of policy.
+    """
+    if proto != PROTO_TCP:
+        return True
+    return handshake_complete
 
 
 class ResilienceConfig:
@@ -425,12 +442,9 @@ class RouterResilience:
 
     @staticmethod
     def _can_fail_open(record: FlowRecord) -> bool:
-        # A TCP flow whose client handshake never completed has no ISN
-        # mapping to hand off; forwarding it is impossible, so it drops
-        # regardless of policy.
-        if record.orig.proto != PROTO_TCP:
-            return True
-        return record.cs_isn is not None and record.shim_injected
+        return fail_open_possible(
+            record.orig.proto,
+            record.cs_isn is not None and record.shim_injected)
 
     # ------------------------------------------------------------------
     def summary(self) -> dict:

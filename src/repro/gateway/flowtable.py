@@ -254,6 +254,32 @@ class FlowTable:
         return [entry for entry in self.entries.values()
                 if entry.expired(now)]
 
+    def world_grants(self) -> List[dict]:
+        """Every installed rule that emits toward the upstream trunk,
+        as abstract ``(vlan, proto, dport, verdict)`` tuples.
+
+        This is the compiled-plane evidence the isolation verifier
+        checks against a certificate's grant table: an upstream-emitting
+        entry outside any certified grant is a leak in the *installed*
+        rules even if no packet has hit it yet (the P4Control stance —
+        verify what was compiled, not just what was decided).
+        """
+        grants = []
+        for entry in sorted(self.entries.values(),
+                            key=lambda e: (e.installed_at, e.key)):
+            if entry.emit_code != EMIT_UPSTREAM:
+                continue
+            record = entry.record
+            grants.append({
+                "vlan": record.vlan,
+                "proto": entry.key[4],
+                "dport": entry.out_dport,
+                "dst": str(entry.dst_ip),
+                "verdict": record.verdict_name,
+                "kind": KIND_NAMES[entry.kind],
+            })
+        return grants
+
 
 # ----------------------------------------------------------------------
 # Scalar executors — statement-for-statement translations of the PR 2

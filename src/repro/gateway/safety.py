@@ -117,6 +117,16 @@ class SafetyFilter:
                                    destination=str(destination),
                                    reason=reason)
 
+    def bounds(self) -> dict:
+        """The filter's static rate envelope, for isolation
+        certificates: whatever the policy plane grants, no inmate can
+        exceed these new-flow budgets."""
+        return {
+            "max_flows_per_window": self.max_flows_per_window,
+            "max_flows_per_destination": self.max_flows_per_destination,
+            "window": self.window,
+        }
+
     def reset_inmate(self, vlan: int) -> None:
         """Forget an inmate's history (it was reverted/terminated)."""
         self._per_inmate.pop(vlan, None)

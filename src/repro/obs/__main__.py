@@ -22,7 +22,9 @@ Every subcommand reads from one of two sources:
   reproducible and diffable across runs.
 
 ``why FLOW`` accepts any unambiguous substring of a flow id (try
-``grep flow.created`` to list them).
+``grep flow.created`` to list them), or ``seq:N`` to anchor on one
+event's causal chain.  An unknown flow or event id prints a friendly
+"no such event" message (plus the first few known flows) and exits 2.
 """
 
 from __future__ import annotations
@@ -43,6 +45,7 @@ from repro.obs.provenance import (
     flows_in,
     render_chain,
     render_why,
+    render_why_event,
 )
 
 GOLDEN_SEED = 11
@@ -223,14 +226,26 @@ def _cmd_why(args) -> int:
     if journal is None:
         print("why needs a journal (pass --journal)", file=sys.stderr)
         return 2
+    events = journal.get("events", [])
     try:
-        print(render_why(journal.get("events", []), args.flow))
-    except ValueError as error:
-        print(str(error), file=sys.stderr)
-        flows = flows_in(journal.get("events", []))
+        if args.flow.startswith("seq:"):
+            token = args.flow[len("seq:"):]
+            seq = int(token) if token.isdigit() else token
+            print(render_why_event(events, seq))
+        else:
+            print(render_why(events, args.flow))
+    except (ValueError, KeyError) as error:
+        # str(KeyError) wraps the message in repr quotes; unwrap it.
+        message = error.args[0] if error.args else str(error)
+        print(f"no such event: {message}" if isinstance(error, KeyError)
+              and not str(message).startswith("no such event")
+              else str(message), file=sys.stderr)
+        flows = flows_in(events)
+        if flows:
+            print("known flows (first 10):", file=sys.stderr)
         for flow in flows[:10]:
             print(f"  {flow}", file=sys.stderr)
-        return 1
+        return 2
     return 0
 
 
@@ -300,7 +315,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_why = sub.add_parser(
         "why", help="causal decision chain for one flow")
     common(p_why)
-    p_why.add_argument("flow", help="flow id or unambiguous substring")
+    p_why.add_argument("flow",
+                       help="flow id (or unambiguous substring), or "
+                            "seq:N for a single event's chain")
     p_why.set_defaults(func=_cmd_why)
 
     p_diff = sub.add_parser(

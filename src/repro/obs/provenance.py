@@ -30,6 +30,7 @@ __all__ = [
     "flows_in",
     "render_chain",
     "render_why",
+    "render_why_event",
     "resolve_flow",
 ]
 
@@ -174,6 +175,22 @@ def render_why(events: List[dict], token: str) -> str:
     flow_id = resolve_flow(events, token)
     chain = chain_for(events, flow_id)
     header = f"why {flow_id}"
+    body = render_chain(chain)
+    return f"{header}\n{'-' * len(header)}\n{body}\n" \
+           f"({len(chain)} events)"
+
+
+def render_why_event(events: List[dict], seq: object) -> str:
+    """Like :func:`render_why`, but anchored on one event ``seq``
+    (useful when a coverage violation or grep result names an event,
+    not a flow).  Raises :class:`KeyError` for an unknown seq."""
+    index = build_index(events)
+    if seq not in index:
+        raise KeyError(f"no such event: seq {seq!r} is not in the "
+                       f"journal ({len(events)} events recorded)")
+    event = index[seq]
+    chain = list(reversed(_ancestors(event, index))) + [event]
+    header = f"why event {seq}"
     body = render_chain(chain)
     return f"{header}\n{'-' * len(header)}\n{body}\n" \
            f"({len(chain)} events)"

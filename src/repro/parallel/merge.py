@@ -29,6 +29,16 @@ Shard payload conventions (all optional):
     shard-labeled (:func:`repro.obs.merge.merge_journals`) into
     ``merged["journal"]``, with the merged journal's digest in
     ``merged["journal_digest"]``.
+``certificate``
+    an isolation certificate (schema ``gq.verify/1``); per-shard
+    certificates merge deterministically
+    (:func:`repro.verify.merge_certificates` — shards sorted by
+    label, grants deduplicated) into a campaign certificate under
+    ``merged["certificate"]``.  The merge is order-independent, so a
+    serial and a parallel run of the same spec produce the same
+    campaign-certificate digest.  Like ``hosts``/``scheduler``, the
+    merged certificate stays outside the campaign digest (shard
+    certificates already ride inside shard payloads).
 """
 
 from __future__ import annotations
@@ -143,6 +153,7 @@ def merge_results(campaign, shard_results, workers: int,
     journals = []
     journal_labels = []
     journal_sources = []
+    certificates = []
     for result in sorted(shard_results, key=lambda r: r.index):
         if not result.ok:
             merged["shards_failed"] += 1
@@ -164,7 +175,15 @@ def merge_results(campaign, shard_results, workers: int,
             journals.append(journal)
             journal_labels.append({"shard": str(result.index)})
             journal_sources.append(source)
+        certificate = payload.get("certificate")
+        if isinstance(certificate, dict):
+            certificates.append(certificate)
     merged["metrics"] = dict(sorted(metrics.items()))
+    if certificates:
+        from repro.verify import merge_certificates
+
+        merged["certificate"] = merge_certificates(
+            certificates, label=campaign.name)
     if hosts:
         merged["hosts"] = {host: dict(info)
                            for host, info in sorted(hosts.items())}

@@ -1,0 +1,431 @@
+"""Compile the containment decision surface into a finite model.
+
+The verifier's object of study is everything that can turn an inmate
+packet into an upstream packet: the per-VLAN containment policy, the
+safety filter, the failover pending policy, and the fault-plan
+windows during which the pending policy — not the containment policy
+— answers flows.  This module flattens all of it into pure data:
+
+* an **abstract flow** is ``(src VLAN range, dst class, proto, port
+  atom, content class)`` — dst class is ``world`` (an address outside
+  the farm) or ``farm`` (a service or another inmate), and a port
+  atom is one interval of the partition of ``[0, 65535]`` induced by
+  the policy's rule boundaries;
+* a :class:`PolicyModel` is the policy's complete decision surface
+  over abstract flows — computed **symbolically** for
+  :class:`~repro.core.dsl.DslPolicy` (rules are data; the model is
+  exact) and for the registry built-ins with closed-form behaviour,
+  or by **concolic probing** for opaque general-Python policies
+  (probe ports + the probe content corpus; the model is marked
+  ``exact=False`` and the certificate inherits the flag);
+* a :class:`SubfarmModel` adds the subfarm's pending policy, its
+  verdict-outage overlay windows from the fault plan
+  (:meth:`~repro.faults.plan.FaultPlan.verdict_outage_windows`), and
+  the safety filter's rate envelope;
+* an :class:`IsolationModel` is the farm: a list of subfarm models
+  plus a canonical digest that pins certificate identity.
+
+The known abstraction gaps (model vs runtime) are catalogued in
+docs/VERIFICATION.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dsl import DslPolicy
+from repro.core.policy import (
+    AllowAll,
+    ContainmentPolicy,
+    DefaultDeny,
+    PolicyContext,
+    ReflectAll,
+)
+from repro.faults.plan import FaultPlan
+from repro.net.addresses import IPv4Address
+from repro.net.flow import FiveTuple
+from repro.net.packet import PROTO_TCP, PROTO_UDP
+
+__all__ = [
+    "DIRECTIONS",
+    "IsolationModel",
+    "Outcome",
+    "PolicyModel",
+    "SubfarmModel",
+    "compile_farm",
+    "compile_policy",
+]
+
+DIRECTIONS = ("outbound", "inbound")
+PROTO_NAMES = {PROTO_TCP: "tcp", PROTO_UDP: "udp"}
+
+#: Probe points for opaque policies: the analysis corpus ports plus a
+#: representative for "every other port".
+_PROBE_OTHER_PORT = 49999
+
+#: Addresses used when concolically probing an opaque policy.  The
+#: inmate side is internal; the destination is a textbook TEST-NET
+#: address, standing in for "the world".
+_PROBE_INMATE_IP = "10.1.0.23"
+_PROBE_WORLD_IP = "198.51.100.77"
+
+
+class Outcome:
+    """One cell of a policy's decision surface."""
+
+    __slots__ = ("direction", "proto", "port_lo", "port_hi", "content",
+                 "verdict", "target", "target_class", "rate", "exact")
+
+    def __init__(self, direction: str, proto: int, port_lo: int,
+                 port_hi: int, content: str, verdict: str,
+                 target: Optional[str] = None,
+                 target_class: Optional[str] = None,
+                 rate: Optional[float] = None, exact: bool = True) -> None:
+        self.direction = direction
+        self.proto = proto
+        self.port_lo = port_lo
+        self.port_hi = port_hi
+        self.content = content
+        self.verdict = verdict
+        self.target = target
+        self.target_class = target_class
+        self.rate = rate
+        self.exact = exact
+
+    def to_dict(self) -> dict:
+        out = {
+            "direction": self.direction,
+            "proto": PROTO_NAMES[self.proto],
+            "ports": [self.port_lo, self.port_hi],
+            "content": self.content,
+            "verdict": self.verdict,
+            "exact": self.exact,
+        }
+        if self.target is not None:
+            out["target"] = self.target
+        if self.target_class is not None:
+            out["target_class"] = self.target_class
+        if self.rate is not None:
+            out["rate"] = self.rate
+        return out
+
+    def __repr__(self) -> str:
+        return (f"<Outcome {self.direction} "
+                f"{PROTO_NAMES[self.proto]}:{self.port_lo}-{self.port_hi} "
+                f"content={self.content} -> {self.verdict}>")
+
+
+class PolicyModel:
+    """A policy's complete decision surface over abstract flows."""
+
+    __slots__ = ("description", "outcomes", "exact")
+
+    def __init__(self, description: dict, outcomes: List[Outcome],
+                 exact: bool) -> None:
+        self.description = description
+        self.outcomes = outcomes
+        self.exact = exact
+
+    def cells(self, direction: str, proto: int) -> List[Outcome]:
+        return [cell for cell in self.outcomes
+                if cell.direction == direction and cell.proto == proto]
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.description,
+            "exact": self.exact,
+            "outcomes": [cell.to_dict() for cell in self.outcomes],
+        }
+
+
+# ----------------------------------------------------------------------
+# Policy compilation
+# ----------------------------------------------------------------------
+def _target_class(ip: Optional[IPv4Address]) -> Optional[str]:
+    if ip is None:
+        return None
+    return "farm" if ip.is_rfc1918() else "world"
+
+
+def _dsl_action_outcome(action, services: Dict[str, tuple]) -> dict:
+    """Verdict/target fields for one parsed DSL action clause."""
+    kind = action.kind
+    if kind == "forward":
+        return {"verdict": "FORWARD"}
+    if kind == "drop":
+        return {"verdict": "DROP"}
+    if kind == "rewrite":
+        return {"verdict": "REWRITE"}
+    if kind == "limit":
+        return {"verdict": "LIMIT", "rate": action.rate}
+    if kind == "reflect":
+        service = services.get(action.service or "sink")
+        ip = service[0] if service else None
+        return {"verdict": "REFLECT",
+                "target": str(ip) if ip is not None else None,
+                "target_class": _target_class(ip) or "farm"}
+    if kind == "redirect":
+        return {"verdict": "REDIRECT", "target": str(action.target_ip),
+                "target_class": _target_class(action.target_ip)}
+    raise ValueError(f"unhandled DSL action kind {kind!r}")
+
+
+def _dsl_atoms(rules, direction: str, proto: int) -> List[Tuple[int, int]]:
+    """Partition [0, 65535] on the applicable rules' port boundaries."""
+    bounds = {0, 65536}
+    for rule in rules:
+        lo, hi = rule.port_interval()
+        bounds.add(lo)
+        bounds.add(hi + 1)
+    edges = sorted(bound for bound in bounds if 0 <= bound <= 65536)
+    return [(lo, nxt - 1) for lo, nxt in zip(edges, edges[1:])]
+
+
+def _content_tag(rule) -> str:
+    if rule.content_prefix is not None:
+        return f"prefix:{rule.content_prefix.decode('latin-1')!r}"
+    return f"regex:{rule.content_regex.pattern.decode('latin-1')!r}"
+
+
+def compile_dsl_policy(policy: DslPolicy) -> PolicyModel:
+    """Exact symbolic evaluation of a DSL program.
+
+    Mirrors ``DslPolicy.decide``/``decide_content`` first-match
+    semantics: within one port atom, each applicable content rule
+    ahead of the first applicable endpoint-only rule contributes a
+    branch for "content matches this pattern"; the endpoint-only rule
+    (or the default) decides every other content.
+    """
+    outcomes: List[Outcome] = []
+    for direction in DIRECTIONS:
+        for proto in (PROTO_TCP, PROTO_UDP):
+            applicable = [
+                rule for rule in policy.rules
+                if rule.direction in (None, direction)
+                and rule.proto in (None, proto)
+            ]
+            for lo, hi in _dsl_atoms(applicable, direction, proto):
+                in_atom = [
+                    rule for rule in applicable
+                    if rule.port_interval()[0] <= lo
+                    and hi <= rule.port_interval()[1]
+                ]
+                branched = False
+                decided = False
+                for rule in in_atom:
+                    fields = _dsl_action_outcome(rule.action,
+                                                 policy.services)
+                    if rule.needs_content:
+                        outcomes.append(Outcome(
+                            direction, proto, lo, hi,
+                            content=_content_tag(rule), **fields))
+                        branched = True
+                    else:
+                        outcomes.append(Outcome(
+                            direction, proto, lo, hi,
+                            content="other" if branched else "*",
+                            **fields))
+                        decided = True
+                        break
+                if not decided:
+                    fields = _dsl_action_outcome(policy.default_action,
+                                                 policy.services)
+                    outcomes.append(Outcome(
+                        direction, proto, lo, hi,
+                        content="other" if branched else "*", **fields))
+    return PolicyModel(policy.describe(), outcomes, exact=True)
+
+
+def _closed_form(policy: ContainmentPolicy) -> Optional[str]:
+    """Verdict for registry built-ins with whole-surface behaviour."""
+    if type(policy) is AllowAll:
+        return "FORWARD"
+    if type(policy) is DefaultDeny or type(policy) is ContainmentPolicy:
+        return "DROP"
+    return None
+
+
+def _probe_decision(policy: ContainmentPolicy, direction: str, proto: int,
+                    port: int, content: Dict[str, bytes]) -> List[tuple]:
+    """Concolic probe of one (direction, proto, port) point; returns
+    ``(content_tag, decision)`` pairs."""
+    outbound = direction == "outbound"
+    if outbound:
+        flow = FiveTuple(IPv4Address(_PROBE_INMATE_IP), 51000,
+                         IPv4Address(_PROBE_WORLD_IP), port, proto)
+    else:
+        flow = FiveTuple(IPv4Address(_PROBE_WORLD_IP), 51000,
+                         IPv4Address(_PROBE_INMATE_IP), port, proto)
+    ctx = PolicyContext(flow, vlan_id=101, nonce_port=40000, now=0.0,
+                        services=dict(policy.services),
+                        inmate_is_originator=outbound)
+    pairs = []
+    decision = policy.decide(ctx)
+    if decision is not None:
+        pairs.append(("*", decision))
+        return pairs
+    for tag, payload in content.items():
+        if not payload:
+            continue
+        settled = policy.decide_content(ctx, payload)
+        if settled is not None:
+            pairs.append((tag, settled))
+    return pairs
+
+
+def probe_policy(policy: ContainmentPolicy) -> PolicyModel:
+    """Concolic model of an opaque policy: probe the analysis corpus
+    ports (plus one representative for every other port) with the
+    probe content corpus.  ``exact=False`` — the certificate carries
+    the caveat."""
+    from repro.analysis.policy_testing import DEFAULT_CONTENT, DEFAULT_PORTS
+
+    outcomes: List[Outcome] = []
+    ports = list(DEFAULT_PORTS)
+    for direction in DIRECTIONS:
+        for proto in (PROTO_TCP, PROTO_UDP):
+            for port in ports + [_PROBE_OTHER_PORT]:
+                atom = ((port, port) if port != _PROBE_OTHER_PORT
+                        else (0, 65535))
+                for tag, decision in _probe_decision(
+                        policy, direction, proto, port, DEFAULT_CONTENT):
+                    outcomes.append(Outcome(
+                        direction, proto, atom[0], atom[1], content=tag,
+                        verdict=decision.verdict.label,
+                        target=(str(decision.target_ip)
+                                if decision.target_ip is not None else None),
+                        target_class=_target_class(decision.target_ip),
+                        rate=decision.rate, exact=False))
+    return PolicyModel(policy.describe(), outcomes, exact=False)
+
+
+def compile_policy(policy: ContainmentPolicy) -> PolicyModel:
+    """Route a policy to its most precise available model."""
+    if isinstance(policy, DslPolicy):
+        return compile_dsl_policy(policy)
+    verdict = _closed_form(policy)
+    if verdict is not None:
+        outcomes = [
+            Outcome(direction, proto, 0, 65535, "*", verdict)
+            for direction in DIRECTIONS
+            for proto in (PROTO_TCP, PROTO_UDP)
+        ]
+        return PolicyModel(policy.describe(), outcomes, exact=True)
+    if type(policy) is ReflectAll:
+        service = policy.services.get(policy.sink_service)
+        ip = service[0] if service else None
+        outcomes = [
+            Outcome(direction, proto, 0, 65535, "*", "REFLECT",
+                    target=str(ip) if ip is not None else None,
+                    target_class=_target_class(ip) or "farm")
+            for direction in DIRECTIONS
+            for proto in (PROTO_TCP, PROTO_UDP)
+        ]
+        return PolicyModel(policy.describe(), outcomes, exact=True)
+    return probe_policy(policy)
+
+
+# ----------------------------------------------------------------------
+# Subfarm / farm compilation
+# ----------------------------------------------------------------------
+class SubfarmModel:
+    """One subfarm's decision surface plus its failure overlays."""
+
+    __slots__ = ("name", "assignments", "pending_policy", "overlays",
+                 "safety", "server_count", "malice_policy")
+
+    def __init__(self, name: str,
+                 assignments: List[Tuple[Optional[int], Optional[int],
+                                         PolicyModel]],
+                 pending_policy: Optional[str],
+                 overlays: List[dict], safety: Optional[dict],
+                 server_count: int, malice_policy: str = "isolate") -> None:
+        self.name = name
+        self.assignments = assignments
+        self.pending_policy = pending_policy
+        self.overlays = overlays
+        self.safety = safety
+        self.server_count = server_count
+        self.malice_policy = malice_policy
+
+    @property
+    def exact(self) -> bool:
+        return all(model.exact for _, _, model in self.assignments)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "assignments": [
+                {"vlans": ("*" if lo is None else [lo, hi]),
+                 **model.to_dict()}
+                for lo, hi, model in self.assignments
+            ],
+            "pending_policy": self.pending_policy,
+            "overlays": self.overlays,
+            "safety": self.safety,
+            "server_count": self.server_count,
+            "malice_policy": self.malice_policy,
+        }
+
+
+class IsolationModel:
+    """The farm-level transition model the explorer walks."""
+
+    SCHEMA = "gq.verify.model/1"
+
+    __slots__ = ("subfarms", "seed")
+
+    def __init__(self, subfarms: List[SubfarmModel],
+                 seed: Optional[int] = None) -> None:
+        self.subfarms = subfarms
+        self.seed = seed
+
+    @property
+    def exact(self) -> bool:
+        return all(subfarm.exact for subfarm in self.subfarms)
+
+    def describe(self) -> dict:
+        return {
+            "schema": self.SCHEMA,
+            "seed": self.seed,
+            "exact": self.exact,
+            "subfarms": [subfarm.to_dict() for subfarm in self.subfarms],
+        }
+
+    def digest(self) -> str:
+        blob = json.dumps(self.describe(), sort_keys=True,
+                          separators=(",", ":")).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+
+def compile_subfarm(subfarm, plan: FaultPlan) -> SubfarmModel:
+    """Compile one live :class:`~repro.farm.Subfarm`."""
+    assignments: List[tuple] = []
+    for (lo, hi), policy in sorted(subfarm.policy_map.policies().items()):
+        assignments.append((lo, hi, compile_policy(policy)))
+    assignments.append((None, None,
+                        compile_policy(subfarm.policy_map.default)))
+
+    resilience = subfarm.resilience
+    pending = (resilience.config.pending_policy
+               if resilience is not None else None)
+    server_count = max(1, len(subfarm._cs_servers))
+    overlays = (plan.verdict_outage_windows(subfarm.name, server_count)
+                if resilience is not None else [])
+    return SubfarmModel(
+        subfarm.name, assignments, pending, overlays,
+        subfarm.safety.bounds(), server_count,
+        malice_policy=subfarm.farm.config.malice_policy)
+
+
+def compile_farm(farm, plan=None) -> IsolationModel:
+    """Compile a live farm (and optionally an explicit fault plan —
+    defaults to the farm's configured one) into an isolation model."""
+    if plan is None:
+        plan = getattr(farm.config, "fault_plan", None)
+    plan = FaultPlan.coerce(plan)
+    subfarms = [compile_subfarm(farm.subfarms[name], plan)
+                for name in sorted(farm.subfarms)]
+    return IsolationModel(subfarms, seed=farm.config.seed)

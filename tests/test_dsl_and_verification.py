@@ -57,30 +57,84 @@ class TestDslParsing:
         assert not rules[0].matches_content(b"GET /c/x HTTP/1.1")
 
     def test_missing_default_rejected(self):
-        with pytest.raises(DslError):
+        with pytest.raises(DslError) as exc:
             parse_program("port 80/tcp -> forward\n")
+        assert exc.value.reason == "missing-default"
+
+    def test_empty_program_rejected(self):
+        """An empty policy must raise, not silently deny (or allow)."""
+        with pytest.raises(DslError) as exc:
+            parse_program("")
+        assert exc.value.reason == "missing-default"
+        with pytest.raises(DslError):
+            parse_program("# comments only\n\n")
 
     def test_duplicate_default_rejected(self):
-        with pytest.raises(DslError):
+        with pytest.raises(DslError) as exc:
             parse_program("default -> drop\ndefault -> forward\n")
+        assert exc.value.reason == "duplicate-default"
+        assert exc.value.line_number == 2
 
     def test_unknown_action_rejected(self):
-        with pytest.raises(DslError):
+        with pytest.raises(DslError) as exc:
             parse_program("port 80/tcp -> explode\ndefault -> drop\n")
+        assert exc.value.reason == "unknown-action"
 
     def test_bad_port_spec_rejected(self):
-        with pytest.raises(DslError):
+        with pytest.raises(DslError) as exc:
             parse_program("port eighty/tcp -> drop\ndefault -> drop\n")
+        assert exc.value.reason == "bad-port-spec"
+        assert exc.value.line_number == 1
+
+    def test_shadowed_rule_rejected(self):
+        """A rule fully covered by an earlier rule can never fire —
+        usually a mis-ordered policy whose author expected the narrow
+        rule to win.  The parser rejects it outright."""
+        with pytest.raises(DslError) as exc:
+            parse_program(
+                "port 1-65535/tcp -> drop\n"
+                "port 80/tcp -> forward\n"
+                "default -> drop\n")
+        assert exc.value.reason == "shadowed-rule"
+        assert exc.value.line_number == 2
+        assert "port 80/tcp" in exc.value.line
+
+    def test_shadowed_content_rule_rejected(self):
+        # An endpoint-only rule shadows any later content rule on the
+        # same port: decide() returns before content is ever consulted.
+        with pytest.raises(DslError) as exc:
+            parse_program(
+                "port 80/tcp -> forward\n"
+                'port 80/tcp content ~ "GET /cnc/" -> drop\n'
+                "default -> drop\n")
+        assert exc.value.reason == "shadowed-rule"
+
+    def test_partial_overlap_allowed(self):
+        # Overlap without full coverage is legitimate layering.
+        rules, _ = parse_program(
+            "port 80-100/tcp -> drop\n"
+            "port 80-443/tcp -> forward\n"
+            "default -> drop\n")
+        assert len(rules) == 2
+
+    def test_narrow_before_wide_allowed(self):
+        # The idiomatic order — specific rule first — must still parse.
+        rules, _ = parse_program(
+            "port 80/tcp -> forward\n"
+            "port 1-65535/tcp -> drop\n"
+            "default -> drop\n")
+        assert len(rules) == 2
 
 
 class TestDslSemantics:
     def test_first_match_wins(self):
         policy = DslPolicy(
-            "port 80/tcp -> drop\nport 80/tcp -> forward\n"
+            "port 80-100/tcp -> drop\nport 80-443/tcp -> forward\n"
             "default -> forward\n")
         surface = enumerate_surface(policy)
         matrix = surface.verdict_matrix()
         assert matrix[("outbound", 80, "http-get")] == "DROP"
+        assert matrix[("outbound", 443, "http-get")] == "FORWARD"
 
     def test_grum_program_matches_handwritten_policy(self):
         """The DSL program and the Python GrumPolicy must agree on the

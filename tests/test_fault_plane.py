@@ -26,7 +26,12 @@ class TestScenarios:
     def test_quick_scenario_fails_closed(self, scenario):
         payload = fault_farm_shard(seed=11, scenario=scenario, **SMALL)
         assert payload["leaks"] == 0
+        assert payload["leak_flows"] == []
         assert payload["degradation_reported"]
+        # The in-shard leak check is certificate-backed: the static
+        # proof must be CONTAINED and the runtime evidence covered.
+        assert payload["certificate"]["result"] == "CONTAINED"
+        assert payload["coverage"]["violations"] == []
 
     def test_cs_slow_still_verdicts(self):
         payload = fault_farm_shard(seed=11, scenario="shim_degraded",

@@ -262,8 +262,19 @@ class TestCli:
                              flow]) == 0
         out = capsys.readouterr().out
         assert out.startswith(f"why {flow}")
+        # Unknown flow or event ids exit 2 with a friendly listing of
+        # known flows, never a bare traceback.
         assert obs_cli.main(["why", "--journal", journal_file,
-                             "definitely-missing"]) == 1
+                             "definitely-missing"]) == 2
+        err = capsys.readouterr().err
+        assert "no journaled flow matches" in err
+        assert "known flows" in err
+        assert obs_cli.main(["why", "--journal", journal_file,
+                             "seq:999999"]) == 2
+        assert "no such event" in capsys.readouterr().err
+        assert obs_cli.main(["why", "--journal", journal_file,
+                             f"seq:{events[0]['seq']}"]) == 0
+        assert capsys.readouterr().out.startswith("why event")
 
     def test_diff_identical_and_differing(self, journal_file,
                                           tmp_path, capsys):
